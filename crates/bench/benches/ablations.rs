@@ -1,0 +1,109 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out: split
+//! strategy, online-dealiasing probe count, scanner retries, and 6Sense's
+//! diversity share. Each reports throughput of the ablated configuration;
+//! comparing the Criterion reports across variants quantifies the cost of
+//! each design decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netmodel::Protocol;
+use sos_bench::{bench_study, BENCH_BUDGET};
+use sos_probe::ScannerConfig;
+use sos_probe::{Scanner, SimTransport};
+use sos_core::study::DatasetKind;
+use tga::{GenConfig, SplitStrategy, TargetGenerator};
+
+/// Tree construction: leftmost vs min-entropy splitting over real seeds.
+fn ablate_split_strategy(c: &mut Criterion) {
+    let study = bench_study();
+    let seeds = study.dataset(DatasetKind::AllActive).to_vec();
+    let mut g = c.benchmark_group("ablation_split");
+    for (name, strategy) in [
+        ("leftmost", SplitStrategy::Leftmost),
+        ("min_entropy", SplitStrategy::MinEntropy),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
+            b.iter(|| tga::space_tree::build_regions(&seeds, s, 16, 1 << 16))
+        });
+    }
+    g.finish();
+}
+
+/// Online dealiasing probe count (§4.2 uses 3; more probes = more packets
+/// but fewer false negatives under loss).
+fn ablate_dealias_probes(c: &mut Criterion) {
+    let study = bench_study();
+    let actives: Vec<_> = study.dataset(DatasetKind::AllActive).iter().copied().take(200).collect();
+    let mut g = c.benchmark_group("ablation_dealias_probes");
+    g.sample_size(10);
+    for probes in [1usize, 3, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(probes), &probes, |b, &p| {
+            b.iter(|| {
+                let mut d = dealias::OnlineDealiaser::new(dealias::OnlineConfig {
+                    probes: p,
+                    threshold: p.div_ceil(2) + 1,
+                    ..dealias::OnlineConfig::default()
+                });
+                let mut scanner = study.scanner(p as u64);
+                d.filter(&mut scanner, &actives, Protocol::Icmp).probe_packets
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Scanner retries: hit recovery under the world's base loss.
+fn ablate_scanner_retries(c: &mut Criterion) {
+    let study = bench_study();
+    let targets: Vec<_> = study.dataset(DatasetKind::AllActive).iter().copied().take(500).collect();
+    let mut g = c.benchmark_group("ablation_retries");
+    g.sample_size(10);
+    for retries in [0u32, 1, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(retries), &retries, |b, &r| {
+            b.iter(|| {
+                let mut scanner = Scanner::new(
+                    ScannerConfig {
+                        retries: r,
+                        rate_pps: None,
+                        ..ScannerConfig::default()
+                    },
+                    SimTransport::new(study.world().clone()),
+                );
+                scanner.scan(targets.iter().copied(), Protocol::Icmp).hits.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// 6Sense's AS-diversity budget share: 0 (pure exploitation) vs the
+/// default vs an exploration-heavy variant.
+fn ablate_sixsense_diversity(c: &mut Criterion) {
+    let study = bench_study();
+    let seeds = study.dataset(DatasetKind::AllActive).to_vec();
+    let mut g = c.benchmark_group("ablation_6sense_diversity");
+    g.sample_size(10);
+    for share in [0.0f64, 0.18, 0.5] {
+        g.bench_with_input(BenchmarkId::from_parameter(share), &share, |b, &s| {
+            b.iter(|| {
+                let mut gen = tga::six_sense::SixSense {
+                    diversity_share: s,
+                    ..tga::six_sense::SixSense::default()
+                };
+                let mut oracle = study.scanner((s * 100.0) as u64);
+                gen.generate(&seeds, &GenConfig::new(BENCH_BUDGET, 9, Protocol::Icmp), &mut oracle)
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_split_strategy,
+    ablate_dealias_probes,
+    ablate_scanner_retries,
+    ablate_sixsense_diversity
+);
+criterion_main!(benches);

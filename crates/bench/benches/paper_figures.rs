@@ -1,0 +1,129 @@
+//! Figure-regeneration benchmarks: one target per paper figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netmodel::Protocol;
+use sos_bench::bench_study;
+use sos_core::experiments::{self, grid::grid_over};
+use sos_core::study::DatasetKind;
+use tga::TgaId;
+
+/// Figures 1–2: the overlap matrices.
+fn bench_fig1_2(c: &mut Criterion) {
+    let study = bench_study();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig1_overlap_full", |b| {
+        b.iter(|| experiments::summary::overlap_full(study))
+    });
+    g.bench_function("fig2_overlap_active", |b| {
+        b.iter(|| experiments::summary::overlap_active(study))
+    });
+    g.finish();
+}
+
+/// Figure 3: dealiased-vs-full ratios for two representative TGAs on two
+/// ports.
+fn bench_fig3(c: &mut Criterion) {
+    let study = bench_study();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3_dealias_ratio", |b| {
+        b.iter(|| {
+            let grid = grid_over(
+                study,
+                &[DatasetKind::Full, DatasetKind::JointDealiased],
+                &[Protocol::Icmp, Protocol::Tcp80],
+                &[TgaId::SixTree, TgaId::SixSense],
+            );
+            experiments::rq1::fig3_dealias_ratio(&grid)
+        })
+    });
+    g.finish();
+}
+
+/// Figure 4: active-only vs dealiased.
+fn bench_fig4(c: &mut Criterion) {
+    let study = bench_study();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig4_active_ratio", |b| {
+        b.iter(|| {
+            let grid = grid_over(
+                study,
+                &[DatasetKind::JointDealiased, DatasetKind::AllActive],
+                &[Protocol::Icmp],
+                &[TgaId::SixGraph, TgaId::Det],
+            );
+            experiments::rq1::fig4_active_ratio(&grid)
+        })
+    });
+    g.finish();
+}
+
+/// Figure 5: port-specific vs all-active.
+fn bench_fig5(c: &mut Criterion) {
+    let study = bench_study();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig5_port_specific", |b| {
+        b.iter(|| {
+            let grid = grid_over(
+                study,
+                &[DatasetKind::AllActive, DatasetKind::PortSpecific(Protocol::Tcp80)],
+                &[Protocol::Tcp80],
+                &[TgaId::SixTree, TgaId::SixHit],
+            );
+            experiments::rq2::port_specific_ratios(&grid)
+        })
+    });
+    g.finish();
+}
+
+/// Figure 6: generator-combination curves (computed over a precomputed
+/// grid — this benches the greedy set-cover analysis itself).
+fn bench_fig6(c: &mut Criterion) {
+    let study = bench_study();
+    let grid = grid_over(study, &[DatasetKind::AllActive], &[Protocol::Icmp], &TgaId::ALL);
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig6_combination", |b| {
+        b.iter(|| {
+            (
+                experiments::rq4::combination_hits(&grid, Protocol::Icmp),
+                experiments::rq4::combination_ases(&grid, Protocol::Icmp),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Figure 7: the cross-port matrix assembly.
+fn bench_fig7(c: &mut Criterion) {
+    let study = bench_study();
+    let grid = grid_over(
+        study,
+        &[
+            DatasetKind::AllActive,
+            DatasetKind::PortSpecific(Protocol::Icmp),
+            DatasetKind::PortSpecific(Protocol::Tcp80),
+        ],
+        &[Protocol::Icmp, Protocol::Tcp80],
+        &[TgaId::SixTree, TgaId::SixGen],
+    );
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig7_cross_port", |b| {
+        b.iter(|| experiments::appendix_d::cross_port_matrix(&grid))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Table-regeneration benchmarks: one target per paper table. Each bench
+//! regenerates the table's underlying experiment at bench scale, so the
+//! suite doubles as a performance budget for the experiment pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netmodel::Protocol;
+use sos_bench::{bench_study, BENCH_BUDGET};
+use sos_core::experiments::{self, grid::grid_over};
+use sos_core::runner::run_tga;
+use sos_core::study::DatasetKind;
+use tga::TgaId;
+
+/// Table 3 + Table 8: dataset composition summary.
+fn bench_table3_table8(c: &mut Criterion) {
+    let study = bench_study();
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table3_dataset_summary", |b| {
+        b.iter(|| experiments::summary::dataset_summary(study))
+    });
+    g.bench_function("table8_domain_volume", |b| {
+        b.iter(|| experiments::summary::domain_volume(study))
+    });
+    g.finish();
+}
+
+/// Table 4: the four dealias regimes on ICMP for two representative TGAs
+/// (one offline tree, one online RL) — the full 8-TGA version is the
+/// `full_study` example.
+fn bench_table4(c: &mut Criterion) {
+    let study = bench_study();
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table4_alias_regimes", |b| {
+        b.iter(|| {
+            let grid = grid_over(
+                study,
+                &[
+                    DatasetKind::Full,
+                    DatasetKind::OfflineDealiased,
+                    DatasetKind::OnlineDealiased,
+                    DatasetKind::JointDealiased,
+                ],
+                &[Protocol::Icmp],
+                &[TgaId::SixTree, TgaId::SixHit],
+            );
+            experiments::rq1::table4_alias_regimes(&grid)
+        })
+    });
+    g.finish();
+}
+
+/// Table 5 / Table 13: per-source runs plus the 12×-budget run (one TGA).
+fn bench_table5_table13(c: &mut Criterion) {
+    let study = bench_study();
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table5_subpopulations", |b| {
+        b.iter(|| {
+            let r = experiments::rq3::run_rq3(study, &[Protocol::Icmp], &[TgaId::SixGen]);
+            (r.combined(Protocol::Icmp, TgaId::SixGen), experiments::rq3::render_table5(&r))
+        })
+    });
+    g.finish();
+}
+
+/// Table 6: AS characterization of discovered populations.
+fn bench_table6(c: &mut Criterion) {
+    let study = bench_study();
+    let rq3 = experiments::rq3::run_rq3(study, &[Protocol::Icmp], &[TgaId::SixTree]);
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table6_as_characterization", |b| {
+        b.iter(|| experiments::rq3::as_characterization(study, &rq3))
+    });
+    g.finish();
+}
+
+/// Tables 9–12: one full dataset-row column (a single TGA across the nine
+/// dataset rows on one port).
+fn bench_tables9_12(c: &mut Criterion) {
+    let study = bench_study();
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("tables9_12_one_column", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (i, dataset) in experiments::grid::GRID_DATASETS.iter().enumerate() {
+                let seeds = study.dataset(*dataset);
+                let r = run_tga(study, TgaId::SixGraph, seeds, Protocol::Icmp, BENCH_BUDGET, i as u64);
+                total += r.metrics.hits;
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table3_table8,
+    bench_table4,
+    bench_table5_table13,
+    bench_table6,
+    bench_tables9_12
+);
+criterion_main!(benches);

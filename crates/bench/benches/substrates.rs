@@ -1,0 +1,136 @@
+//! Microbenchmarks of the substrates every experiment sits on: packet
+//! construction/parsing, routing-trie lookups, the world oracle, region
+//! operations, and online dealiasing.
+
+use std::net::Ipv6Addr;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use netmodel::Protocol;
+use sos_bench::bench_study;
+use sos_probe::packet::{build_probe, parse_packet};
+use tga::{Region, SplitStrategy};
+use v6addr::{nybble_of, Nybbles, Prefix};
+
+fn bench_packets(c: &mut Criterion) {
+    let src: Ipv6Addr = "2001:db8::1".parse().unwrap();
+    let dst: Ipv6Addr = "2600:abcd::42".parse().unwrap();
+    let mut g = c.benchmark_group("packets");
+    for proto in [Protocol::Icmp, Protocol::Tcp443, Protocol::Udp53] {
+        g.bench_function(format!("build_{}", proto.label()), |b| {
+            b.iter(|| build_probe(black_box(src), black_box(dst), proto, 7, None))
+        });
+        let pkt = build_probe(src, dst, proto, 7, None);
+        g.bench_function(format!("parse_{}", proto.label()), |b| {
+            b.iter(|| parse_packet(black_box(&pkt)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_world_oracle(c: &mut Criterion) {
+    let study = bench_study();
+    let world = study.world();
+    let addrs: Vec<Ipv6Addr> = world.hosts().iter().map(|(a, _)| a).step_by(7).take(512).collect();
+    let mut g = c.benchmark_group("world");
+    g.bench_function("probe_oracle", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            world.probe(addrs[i % addrs.len()], Protocol::Icmp, i as u32)
+        })
+    });
+    g.bench_function("asn_lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            world.asn_of(black_box(addrs[i % addrs.len()]))
+        })
+    });
+    g.bench_function("alias_lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            world.is_aliased(black_box(addrs[i % addrs.len()]))
+        })
+    });
+    g.finish();
+}
+
+fn bench_addressing(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let addr: Ipv6Addr = "2600:aaaa:bbbb:cccc:dddd:eeee:ffff:1234".parse().unwrap();
+    let prefix: Prefix = "2600:abcd::/96".parse().unwrap();
+    let mut g = c.benchmark_group("v6addr");
+    g.bench_function("nybbles_roundtrip", |b| {
+        b.iter(|| Nybbles::from_addr(black_box(addr)).to_addr())
+    });
+    g.bench_function("nybble_of", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            nybble_of(black_box(addr), i % 32)
+        })
+    });
+    g.bench_function("rand_in_prefix", |b| {
+        b.iter(|| v6addr::rand_in_prefix(black_box(&prefix), &mut rng))
+    });
+    g.finish();
+}
+
+fn bench_regions(c: &mut Criterion) {
+    let seeds: Vec<Ipv6Addr> = (0..4096u128)
+        .map(|i| Ipv6Addr::from((0x2600u128 << 112) | ((i % 64) << 64) | (i * 7)))
+        .collect();
+    let mut g = c.benchmark_group("space_tree");
+    g.bench_function("build_regions_4k_leftmost", |b| {
+        b.iter(|| tga::space_tree::build_regions(black_box(&seeds), SplitStrategy::Leftmost, 16, 1 << 14))
+    });
+    g.bench_function("build_regions_4k_minentropy", |b| {
+        b.iter(|| tga::space_tree::build_regions(black_box(&seeds), SplitStrategy::MinEntropy, 16, 1 << 14))
+    });
+    let region = Region::from_seeds(&seeds[..256]);
+    let mut rng = SmallRng::seed_from_u64(2);
+    g.bench_function("region_sample", |b| b.iter(|| region.sample(&mut rng, 0.05)));
+    g.bench_function("region_enumerate_256", |b| b.iter(|| region.enumerate(256)));
+    g.finish();
+}
+
+fn bench_dealias(c: &mut Criterion) {
+    let study = bench_study();
+    let mut g = c.benchmark_group("dealias");
+    g.sample_size(20);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let region = study
+        .world()
+        .alias_regions()
+        .iter()
+        .find(|r| r.ports.contains(Protocol::Icmp))
+        .unwrap()
+        .clone();
+    g.bench_function("online_check_fresh_prefix", |b| {
+        b.iter(|| {
+            // fresh dealiaser every time: measures the probing cost
+            let mut d = dealias::OnlineDealiaser::new(dealias::OnlineConfig {
+                seed: rng.gen(),
+                ..dealias::OnlineConfig::default()
+            });
+            let mut scanner = study.scanner(rng.gen());
+            let inside = Ipv6Addr::from(u128::from(region.prefix.network()) | rng.gen::<u32>() as u128);
+            d.check(&mut scanner, inside, Protocol::Icmp)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_packets,
+    bench_world_oracle,
+    bench_addressing,
+    bench_regions,
+    bench_dealias
+);
+criterion_main!(benches);

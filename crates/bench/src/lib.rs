@@ -1,0 +1,38 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Benches measure *experiment regeneration*, not world construction, so
+//! the study fixture is built once per process and shared. Benchmarks run
+//! at a reduced scale (tiny world, trimmed budgets) — Criterion needs many
+//! iterations, and the shapes being measured are scale-stable.
+
+use std::sync::OnceLock;
+
+use sos_core::{Study, StudyConfig};
+
+/// Per-TGA budget used by the benchmark experiments.
+pub const BENCH_BUDGET: usize = 2_000;
+
+/// The shared bench-scale study.
+pub fn bench_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let mut cfg = StudyConfig::tiny(0xBE7C);
+        cfg.budget = BENCH_BUDGET;
+        cfg.parallel = false; // benches measure single-threaded cost
+        Study::new(cfg)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_once_and_is_usable() {
+        let s1 = bench_study();
+        let s2 = bench_study();
+        assert!(std::ptr::eq(s1, s2));
+        assert!(!s1.pipeline().all_active.is_empty());
+        assert_eq!(s1.config().budget, BENCH_BUDGET);
+    }
+}

@@ -1,0 +1,233 @@
+//! `seedscan` — run any experiment of the study from the command line.
+//!
+//! ```text
+//! seedscan <experiment> [--scale tiny|small|study] [--seed N] [--budget N]
+//!
+//! experiments:
+//!   summary      Table 3 + Table 8 (dataset composition)
+//!   overlap      Figures 1–2 (source overlap matrices)
+//!   rq1          Figure 3, Table 4, Figure 4
+//!   rq2          Figure 5
+//!   rq3          Tables 5, 6, 13 (ICMP)
+//!   rq4          Figure 6
+//!   appendix-d   Figure 7
+//!   raw          Tables 9–12
+//!   recommend    RQ5 recommendation list
+//!   as-kind      extension: Steger-style AS-category seed slices
+//!   budget-sweep extension: hits/ASes saturation vs generation budget
+//!   export       write grid + figure CSVs to ./export/
+//!   all          everything above
+//! ```
+
+use std::process::ExitCode;
+
+use sos_core::experiments::{self, master_grid};
+use sos_core::{Study, StudyConfig};
+
+struct Args {
+    experiment: String,
+    scale: String,
+    seed: u64,
+    budget: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        experiment: String::new(),
+        scale: "small".to_string(),
+        seed: 0xC0FFEE,
+        budget: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => args.scale = it.next().ok_or("--scale needs a value")?,
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--budget" => {
+                args.budget = Some(
+                    it.next()
+                        .ok_or("--budget needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad budget: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if args.experiment.is_empty() => args.experiment = other.to_string(),
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    if args.experiment.is_empty() {
+        return Err(String::new());
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: seedscan <experiment> [--scale tiny|small|study] [--seed N] [--budget N]\n\
+         experiments: summary overlap rq1 rq2 rq3 rq4 appendix-d raw recommend as-kind budget-sweep export all"
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cfg = match args.scale.as_str() {
+        "tiny" => StudyConfig::tiny(args.seed),
+        "small" => StudyConfig::small(args.seed),
+        "study" => StudyConfig::study(args.seed),
+        other => {
+            eprintln!("unknown scale: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(b) = args.budget {
+        cfg.budget = b;
+    }
+
+    eprintln!(
+        "[seedscan] building study: scale={} seed={:#x} budget={}",
+        args.scale, args.seed, cfg.budget
+    );
+    let t0 = std::time::Instant::now();
+    let study = Study::new(cfg);
+    eprintln!(
+        "[seedscan] study ready in {:.1?}: {} modeled hosts, {} responsive, {} seeds collected",
+        t0.elapsed(),
+        study.world().stats().modeled_hosts,
+        study.world().stats().responsive_any,
+        study.pipeline().full.len()
+    );
+
+    let needs_grid = matches!(
+        args.experiment.as_str(),
+        "rq1" | "rq2" | "rq4" | "appendix-d" | "raw" | "recommend" | "export" | "all"
+    );
+    let grid = if needs_grid {
+        let t = std::time::Instant::now();
+        let g = master_grid(&study);
+        eprintln!("[seedscan] master grid ({} cells) in {:.1?}", g.len(), t.elapsed());
+        Some(g)
+    } else {
+        None
+    };
+
+    let run = |name: &str| -> bool {
+        args.experiment == name || args.experiment == "all"
+    };
+
+    if run("summary") {
+        println!("{}", experiments::summary::dataset_summary(&study).render());
+        println!("{}", experiments::summary::domain_volume(&study).render());
+    }
+    if run("overlap") {
+        let full = experiments::summary::overlap_full(&study);
+        println!("{}", experiments::summary::render_overlap(&full, "Figure 1 — seed overlap (IP %)"));
+        let active = experiments::summary::overlap_active(&study);
+        println!(
+            "{}",
+            experiments::summary::render_overlap(&active, "Figure 2 — responsive seed overlap (IP %)")
+        );
+    }
+    if let Some(grid) = grid.as_ref() {
+        if run("rq1") {
+            println!("{}", experiments::rq1::fig3_dealias_ratio(grid).render());
+            println!("{}", experiments::rq1::table4_alias_regimes(grid).render());
+            println!("{}", experiments::rq1::fig4_active_ratio(grid).render());
+        }
+        if run("rq2") {
+            println!("{}", experiments::rq2::port_specific_ratios(grid).render());
+        }
+        if run("rq4") {
+            for proto in netmodel::PROTOCOLS {
+                let hits = experiments::rq4::combination_hits(grid, proto);
+                println!("{}", experiments::rq4::render_contribution(&hits, "hit"));
+                let ases = experiments::rq4::combination_ases(grid, proto);
+                println!("{}", experiments::rq4::render_contribution(&ases, "AS"));
+            }
+        }
+        if run("appendix-d") {
+            let m = experiments::appendix_d::cross_port_matrix(grid);
+            for proto in netmodel::PROTOCOLS {
+                println!("{}", m.render_panel(proto));
+            }
+        }
+        if run("raw") {
+            for proto in netmodel::PROTOCOLS {
+                println!("{}", experiments::rq1::raw_numbers_table(grid, proto));
+            }
+        }
+        if run("recommend") {
+            let recs = experiments::recommend::recommendations(grid);
+            println!("{}", experiments::recommend::render(&recs));
+        }
+        if run("export") {
+            std::fs::create_dir_all("export").expect("create export dir");
+            let write = |name: &str, f: &dyn Fn(&mut Vec<u8>) -> std::io::Result<()>| {
+                let mut buf = Vec::new();
+                f(&mut buf).expect("serialize");
+                std::fs::write(format!("export/{name}"), buf).expect("write csv");
+                eprintln!("[seedscan] wrote export/{name}");
+            };
+            write("grid.csv", &|w| sos_core::export::write_grid_csv(w, grid));
+            let fig3 = experiments::rq1::fig3_dealias_ratio(grid);
+            write("fig3_dealias_ratio.csv", &|w| sos_core::export::write_ratio_csv(w, &fig3));
+            let fig4 = experiments::rq1::fig4_active_ratio(grid);
+            write("fig4_active_ratio.csv", &|w| sos_core::export::write_ratio_csv(w, &fig4));
+            let fig5 = experiments::rq2::port_specific_ratios(grid);
+            write("fig5_port_specific.csv", &|w| sos_core::export::write_ratio_csv(w, &fig5));
+            for proto in netmodel::PROTOCOLS {
+                let c = experiments::rq4::combination_hits(grid, proto);
+                write(&format!("fig6_hits_{}.csv", proto.label().to_lowercase()), &|w| {
+                    sos_core::export::write_contribution_csv(w, &c)
+                });
+            }
+        }
+    }
+    if run("budget-sweep") {
+        let t = std::time::Instant::now();
+        let ladder = experiments::budget::default_ladder(&study);
+        let curves =
+            experiments::budget::budget_sweep(&study, &tga::TgaId::ALL, &ladder, netmodel::Protocol::Icmp);
+        eprintln!("[seedscan] budget sweep in {:.1?}", t.elapsed());
+        println!("{}", experiments::budget::render(&curves, netmodel::Protocol::Icmp));
+        let rows: Vec<(String, f64)> = curves
+            .iter()
+            .map(|c| (c.tga.label().to_string(), c.tail_efficiency()))
+            .collect();
+        println!("{}", sos_core::chart::bar_chart("Tail efficiency (marginal hits per candidate)", &rows, 50));
+    }
+    if run("as-kind") {
+        let t = std::time::Instant::now();
+        let r = experiments::as_kind::run_by_kind(&study, &tga::TgaId::ALL);
+        eprintln!("[seedscan] as-kind in {:.1?}", t.elapsed());
+        println!("{}", r.render(&study));
+    }
+    if run("rq3") {
+        let t = std::time::Instant::now();
+        let r = experiments::rq3::run_rq3(&study, &[netmodel::Protocol::Icmp], &tga::TgaId::ALL);
+        eprintln!("[seedscan] rq3 ({} cells) in {:.1?}", r.len(), t.elapsed());
+        println!("{}", experiments::rq3::render_table5(&r));
+        println!("{}", experiments::rq3::render_source_raw(&r, netmodel::Protocol::Icmp));
+        let chars = experiments::rq3::as_characterization(&study, &r);
+        println!("{}", experiments::rq3::render_table6(&chars));
+    }
+
+    eprintln!("[seedscan] done in {:.1?}", t0.elapsed());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,168 @@
+//! `worldgen` — synthesize a simulated Internet and dump its composition.
+//!
+//! Useful for inspecting what a given seed/scale produces before running
+//! experiments against it, and for exporting ground-truth lists (alias
+//! prefixes, responsive addresses) in the standard text formats.
+//!
+//! ```text
+//! worldgen [--scale tiny|small|study] [--seed N] [--dump-dir DIR]
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use netmodel::{AsKind, HostKind, Protocol, World, WorldConfig, PROTOCOLS};
+use sos_core::report::{fmt_count, fmt_pct, Table};
+
+fn main() -> ExitCode {
+    let mut scale = "small".to_string();
+    let mut seed: u64 = 0xC0FFEE;
+    let mut dump_dir: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = it.next().unwrap_or_default(),
+            "--seed" => {
+                seed = match it.next().unwrap_or_default().parse() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("bad seed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--dump-dir" => dump_dir = it.next(),
+            other => {
+                eprintln!("usage: worldgen [--scale tiny|small|study] [--seed N] [--dump-dir DIR]");
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let cfg = match scale.as_str() {
+        "tiny" => WorldConfig::tiny(seed),
+        "small" => WorldConfig::small(seed),
+        "study" => WorldConfig::study(seed),
+        other => {
+            eprintln!("unknown scale: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let t0 = std::time::Instant::now();
+    let world = World::build(cfg);
+    eprintln!("[worldgen] built in {:.1?}", t0.elapsed());
+
+    let stats = world.stats();
+    println!("seed {seed:#x}, scale {scale}");
+    println!(
+        "{} modeled addresses ({} churned), {} responsive in {} ASes",
+        fmt_count(stats.modeled_hosts),
+        fmt_count(stats.churned_hosts),
+        fmt_count(stats.responsive_any),
+        fmt_count(stats.responsive_ases),
+    );
+    for p in PROTOCOLS {
+        println!("  responsive on {:<7} {}", p.label(), fmt_count(stats.responsive[p.index()]));
+    }
+
+    // Composition by AS kind and host role.
+    let mut by_kind: BTreeMap<&str, (usize, usize)> = BTreeMap::new(); // (ases, hosts)
+    for info in world.registry().iter() {
+        by_kind.entry(kind_name(info.kind)).or_default().0 += 1;
+    }
+    let mut by_role: BTreeMap<&str, usize> = BTreeMap::new();
+    for (addr, rec) in world.hosts().iter() {
+        *by_role.entry(role_name(rec.kind)).or_default() += 1;
+        if let Some(asn) = world.asn_of(addr) {
+            if let Some(info) = world.registry().info(asn) {
+                by_kind.entry(kind_name(info.kind)).or_default().1 += 1;
+            }
+        }
+    }
+    let mut t = Table::new("AS composition").header(["Kind", "ASes", "Modeled hosts"]);
+    for (k, (ases, hosts)) in &by_kind {
+        t.row([k.to_string(), fmt_count(*ases), fmt_count(*hosts)]);
+    }
+    println!("{}", t.render());
+
+    let mut t = Table::new("Host roles").header(["Role", "Count"]);
+    for (r, n) in &by_role {
+        t.row([r.to_string(), fmt_count(*n)]);
+    }
+    println!("{}", t.render());
+
+    let published = world.alias_regions().iter().filter(|r| r.published).count();
+    let lossy = world.alias_regions().iter().filter(|r| r.loss > 0.0).count();
+    println!(
+        "aliased regions: {} total, {} published ({}), {} rate-limited",
+        world.alias_regions().len(),
+        published,
+        fmt_pct(published as f64 / world.alias_regions().len().max(1) as f64),
+        lossy
+    );
+    if let Some(mega) = world.megapattern() {
+        println!(
+            "megapattern: {} in {} ({} addresses, {:.1}% responsive)",
+            mega.base,
+            mega.asn,
+            fmt_count(mega.population() as usize),
+            100.0 * mega.rate
+        );
+    }
+
+    if let Some(dir) = dump_dir {
+        std::fs::create_dir_all(&dir).expect("create dump dir");
+        // ground-truth alias list (the full one, not just published)
+        let alias_path = format!("{dir}/aliased-prefixes.txt");
+        let f = std::fs::File::create(&alias_path).expect("create alias list");
+        seeds::io::write_prefix_list(
+            std::io::BufWriter::new(f),
+            world.alias_regions().iter().map(|r| r.prefix),
+            &format!("ground-truth aliased prefixes, world seed {seed:#x}"),
+        )
+        .expect("write alias list");
+        eprintln!("[worldgen] wrote {alias_path}");
+
+        // responsive ICMP addresses (ground truth)
+        let addrs: Vec<_> = world
+            .hosts()
+            .iter()
+            .filter(|(a, r)| r.responds(Protocol::Icmp) && !world.is_aliased(*a))
+            .map(|(a, _)| a)
+            .collect();
+        let hitlist_path = format!("{dir}/icmp-responsive.txt");
+        let f = std::fs::File::create(&hitlist_path).expect("create hitlist");
+        seeds::io::write_address_list(
+            std::io::BufWriter::new(f),
+            &addrs,
+            &format!("ground-truth ICMP responders, world seed {seed:#x}"),
+        )
+        .expect("write hitlist");
+        eprintln!("[worldgen] wrote {hitlist_path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn kind_name(k: AsKind) -> &'static str {
+    match k {
+        AsKind::TransitIsp => "Transit",
+        AsKind::AccessIsp => "AccessISP",
+        AsKind::Mobile => "Mobile",
+        AsKind::CloudHosting => "Cloud",
+        AsKind::Cdn => "CDN",
+        AsKind::Education => "Education",
+        AsKind::Government => "Government",
+        AsKind::Enterprise => "Enterprise",
+    }
+}
+
+fn role_name(k: HostKind) -> &'static str {
+    match k {
+        HostKind::Router => "router",
+        HostKind::WebServer => "web server",
+        HostKind::DnsServer => "dns server",
+        HostKind::Cpe => "cpe",
+        HostKind::Infra => "infra",
+    }
+}

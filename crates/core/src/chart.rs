@@ -1,0 +1,109 @@
+//! Terminal bar charts for the figures.
+//!
+//! The paper's figures are bar charts; the tables in [`crate::report`]
+//! carry the exact numbers, and these charts carry the *shape* — sign and
+//! relative magnitude at a glance — directly in the CLI output.
+
+use std::fmt::Write as _;
+
+/// Render a horizontal bar chart of labeled values.
+///
+/// Negative values grow left from the axis, positive right, so a
+/// performance-ratio figure reads exactly like the paper's: bars above
+/// zero are improvements.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    if rows.is_empty() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let max_abs = rows
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let half = (width.max(20)) / 2;
+    for (label, value) in rows {
+        let cells = ((value.abs() / max_abs) * half as f64).round() as usize;
+        let cells = cells.min(half);
+        let (neg, pos) = if *value < 0.0 {
+            (format!("{}{}", " ".repeat(half - cells), "█".repeat(cells)), String::new())
+        } else {
+            (" ".repeat(half), "█".repeat(cells))
+        };
+        let _ = writeln!(out, "{label:<label_w$} {neg}|{pos:<half$} {value:+.2}");
+    }
+    out
+}
+
+/// Render a cumulative curve (Figure 6 style) as a step chart: each row's
+/// bar shows the cumulative fraction after adding that item.
+pub fn cumulative_chart(title: &str, rows: &[(String, usize)], total: usize, width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    if rows.is_empty() || total == 0 {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    for (label, cumulative) in rows {
+        let frac = (*cumulative as f64 / total as f64).clamp(0.0, 1.0);
+        let cells = (frac * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} {}{} {:>5.1}%",
+            "█".repeat(cells),
+            "░".repeat(width - cells),
+            100.0 * frac
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_extreme_value() {
+        let rows = vec![
+            ("a".to_string(), 2.0),
+            ("b".to_string(), 1.0),
+            ("c".to_string(), -2.0),
+        ];
+        let s = bar_chart("t", &rows, 40);
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let bars: Vec<usize> = lines.iter().map(|l| l.matches('█').count()).collect();
+        assert_eq!(bars[0], 20, "max positive fills half-width");
+        assert_eq!(bars[1], 10, "half value fills half the bar");
+        assert_eq!(bars[2], 20, "max negative fills half-width");
+        // negative bar sits left of the axis
+        let c_line = lines[2];
+        assert!(c_line.find('█').unwrap() < c_line.find('|').unwrap());
+    }
+
+    #[test]
+    fn zero_and_empty_are_safe() {
+        let s = bar_chart("t", &[("x".into(), 0.0)], 40);
+        assert!(s.contains("+0.00"));
+        assert!(bar_chart("t", &[], 40).contains("(no data)"));
+    }
+
+    #[test]
+    fn cumulative_chart_fills_to_100() {
+        let rows = vec![("first".to_string(), 50), ("second".to_string(), 100)];
+        let s = cumulative_chart("t", &rows, 100, 20);
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        assert!(lines[0].contains("50.0%"));
+        assert!(lines[1].contains("100.0%"));
+        assert_eq!(lines[1].matches('█').count(), 20);
+        assert_eq!(lines[0].matches('█').count(), 10);
+    }
+
+    #[test]
+    fn cumulative_handles_zero_total() {
+        assert!(cumulative_chart("t", &[("x".into(), 1)], 0, 20).contains("(no data)"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Study-wide configuration.
+
+use netmodel::WorldConfig;
+use seeds::CollectorConfig;
+
+/// Every knob of one end-to-end study run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyConfig {
+    /// The simulated Internet.
+    pub world: WorldConfig,
+    /// Seed collection sampling.
+    pub collector: CollectorConfig,
+    /// Per-TGA generation budget (the paper's 50M, scaled).
+    pub budget: usize,
+    /// Budget multiplier for the RQ3 "600M" single big run (12×).
+    pub big_budget_multiplier: usize,
+    /// RNG seed for generation.
+    pub gen_seed: u64,
+    /// Scanner retransmissions after the first attempt.
+    pub scan_retries: u32,
+    /// Run independent (tga × port) experiment cells on worker threads.
+    pub parallel: bool,
+}
+
+impl StudyConfig {
+    /// Full study scale: the paper's 50M budget scaled by the same factor
+    /// as the world (≈300×), preserving budget-to-population ratios.
+    pub fn study(seed: u64) -> Self {
+        StudyConfig {
+            world: WorldConfig::study(seed),
+            collector: CollectorConfig { seed: seed ^ 0xc0_11ec },
+            budget: 150_000,
+            big_budget_multiplier: 12,
+            gen_seed: seed ^ 0x9e4,
+            scan_retries: 1,
+            parallel: true,
+        }
+    }
+
+    /// Mid-size: for quick experiment iterations and integration tests.
+    pub fn small(seed: u64) -> Self {
+        StudyConfig {
+            world: WorldConfig::small(seed),
+            budget: 30_000,
+            ..Self::study(seed)
+        }
+    }
+
+    /// Tiny: unit-test scale; a full RQ runs in seconds.
+    pub fn tiny(seed: u64) -> Self {
+        StudyConfig {
+            world: WorldConfig::tiny(seed),
+            budget: 6_000,
+            parallel: false,
+            ..Self::study(seed)
+        }
+    }
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self::study(0xC0FFEE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_budget_with_world() {
+        let t = StudyConfig::tiny(1);
+        let s = StudyConfig::small(1);
+        let f = StudyConfig::study(1);
+        assert!(t.budget < s.budget && s.budget < f.budget);
+        assert!(t.world.num_ases < f.world.num_ases);
+    }
+
+    #[test]
+    fn budget_to_population_ratio_matches_paper_order() {
+        // Paper: 50M budget vs ≈11M responsive ≈ 4.5×. Ours should be of
+        // the same order (within a factor of ~4 either way).
+        let f = StudyConfig::study(1);
+        // study-scale world has ≈600K responsive (see netmodel tests)
+        let ratio = f.budget as f64 / 600_000.0;
+        assert!(ratio > 0.1 && ratio < 10.0, "ratio {ratio}");
+    }
+}

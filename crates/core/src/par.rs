@@ -1,0 +1,83 @@
+//! Minimal parallel-map over crossbeam scoped threads.
+//!
+//! The study's experiment grids (8 TGAs × 4 ports × N datasets) are
+//! embarrassingly parallel: every cell owns its scanner and RNG, and the
+//! world is immutable behind an `Arc`. Per the networking guides, this is
+//! CPU-bound work — plain scoped threads, not an async runtime.
+
+/// Map `f` over `items`, running up to `threads` items concurrently.
+/// Results come back in input order. With `threads <= 1` this degrades to
+/// a sequential map (used by tiny test configs for determinism in probe
+/// interleavings — each cell is internally deterministic either way).
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let work: std::sync::Mutex<std::vec::IntoIter<(usize, T)>> =
+        std::sync::Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>().into_iter());
+    let out = std::sync::Mutex::new(&mut slots);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let next = work.lock().expect("work queue lock").next();
+                let Some((i, item)) = next else { break };
+                let r = f(item);
+                out.lock().expect("result lock")[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+}
+
+/// Default worker count: physical parallelism capped at 8 (the grids are
+/// memory-bandwidth-bound beyond that at study scale).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let r = par_map(vec![1, 2, 3, 4, 5], 3, |x| x * 10);
+        assert_eq!(r, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn sequential_fallback() {
+        let r = par_map(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(r, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r: Vec<i32> = par_map(Vec::<i32>::new(), 4, |x| x);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let r = par_map(vec![7], 16, |x| x * x);
+        assert_eq!(r, vec![49]);
+    }
+
+    #[test]
+    fn heavy_fanout_is_correct() {
+        let items: Vec<u64> = (0..200).collect();
+        let r = par_map(items.clone(), 8, |x| x * 2);
+        assert_eq!(r, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

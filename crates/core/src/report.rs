@@ -1,0 +1,156 @@
+//! Plain-text table rendering for experiment outputs.
+//!
+//! Every experiment returns a structured result plus a `render()` that
+//! produces the paper-style table through this builder, so the `seedscan`
+//! binary, the examples, and EXPERIMENTS.md all share one formatter.
+
+use std::fmt::Write as _;
+
+/// A simple aligned-column table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title.
+    pub fn new(title: impl Into<String>) -> Table {
+        Table {
+            title: title.into(),
+            ..Table::default()
+        }
+    }
+
+    /// Set the column headers.
+    pub fn header(mut self, cols: impl IntoIterator<Item = impl Into<String>>) -> Table {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cols: impl IntoIterator<Item = impl Into<String>>) -> &mut Table {
+        self.rows.push(cols.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns (first column left, others right).
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |row: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    let _ = write!(line, "{cell:<w$}  ");
+                } else {
+                    let _ = write!(line, "{cell:>w$}  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+            let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+            let _ = writeln!(out, "{}", "-".repeat(total.min(160)));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a count with thousands separators (table readability).
+pub fn fmt_count(n: usize) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Format a performance ratio with a sign, two decimals.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:+.2}")
+}
+
+/// Format a fraction as a percentage.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo").header(["name", "count"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "22,222"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("22,222"));
+        // right alignment: the shorter count is padded
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn fmt_count_inserts_separators() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1000), "1,000");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn fmt_ratio_signs() {
+        assert_eq!(fmt_ratio(1.0), "+1.00");
+        assert_eq!(fmt_ratio(-0.5), "-0.50");
+        assert_eq!(fmt_ratio(0.0), "+0.00");
+    }
+
+    #[test]
+    fn fmt_pct_rounds() {
+        assert_eq!(fmt_pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn empty_table_renders_title_only() {
+        let t = Table::new("Empty");
+        assert!(t.is_empty());
+        assert!(t.render().contains("== Empty =="));
+    }
+}

@@ -1,0 +1,99 @@
+//! Deterministic hashing used for reproducible per-address decisions.
+//!
+//! The ground-truth oracle must answer "does this address respond?" the same
+//! way on every call without storing per-address state for phenomena that
+//! are defined procedurally (aliased regions, the megapattern, loss). These
+//! helpers provide stateless, seed-keyed pseudo-randomness (SplitMix64).
+
+/// SplitMix64 finalizer: a fast, high-quality 64-bit mixing function.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mix two words into one (order-sensitive).
+#[inline]
+pub fn mix2(a: u64, b: u64) -> u64 {
+    splitmix64(splitmix64(a) ^ b.rotate_left(17))
+}
+
+/// Mix three words into one (order-sensitive).
+#[inline]
+pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    mix2(mix2(a, b), c)
+}
+
+/// Hash a 128-bit address with a seed.
+#[inline]
+pub fn mix_addr(seed: u64, addr: u128) -> u64 {
+    mix3(seed, (addr >> 64) as u64, addr as u64)
+}
+
+/// A deterministic Bernoulli draw: true with probability `p`, keyed by
+/// `(seed, addr)`. Stable across calls.
+#[inline]
+pub fn chance(seed: u64, addr: u128, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    let h = mix_addr(seed, addr);
+    // map to [0, 1) using the top 53 bits
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    u < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        assert_ne!(splitmix64(0), 0);
+    }
+
+    #[test]
+    fn mix2_is_order_sensitive() {
+        assert_ne!(mix2(1, 2), mix2(2, 1));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        assert!(!chance(1, 42, 0.0));
+        assert!(chance(1, 42, 1.0));
+    }
+
+    #[test]
+    fn chance_is_stable() {
+        for addr in 0..100u128 {
+            assert_eq!(chance(7, addr, 0.5), chance(7, addr, 0.5));
+        }
+    }
+
+    #[test]
+    fn chance_rate_is_approximately_p() {
+        let hits = (0..20_000u128).filter(|&a| chance(99, a, 0.35)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.35).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn chance_monotone_not_required_but_seeds_differ() {
+        let a = (0..1000u128).filter(|&x| chance(1, x, 0.5)).count();
+        let b = (0..1000u128).filter(|&x| chance(2, x, 0.5)).count();
+        // different seeds give different (but similar-sized) draws
+        assert!(a > 350 && a < 650);
+        assert!(b > 350 && b < 650);
+        let overlap = (0..1000u128)
+            .filter(|&x| chance(1, x, 0.5) && chance(2, x, 0.5))
+            .count();
+        assert!(overlap < a.min(b), "seeds should decorrelate draws");
+    }
+}

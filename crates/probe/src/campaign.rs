@@ -1,0 +1,178 @@
+//! Multi-protocol scan campaigns.
+//!
+//! §5.3's collection step — "we proceed to scan ... on four ports and
+//! protocols" — is the canonical adopter workflow: one target list, every
+//! scan target, one merged per-address result. [`Campaign`] packages it:
+//! deduplicated targets are scanned per protocol through one scanner, and
+//! the outcome is a per-address [`PortSet`] plus per-protocol reports.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use netmodel::{PortSet, Protocol, PROTOCOLS};
+
+use crate::engine::{ScanReport, Scanner};
+use crate::transport::Transport;
+
+/// The merged outcome of scanning one target list on several protocols.
+#[derive(Debug, Default)]
+pub struct CampaignResult {
+    /// Observed responsiveness per address (addresses with at least one
+    /// positive response; silent addresses are absent).
+    responsive: HashMap<u128, PortSet>,
+    /// The per-protocol scan reports, in scan order.
+    pub reports: Vec<(Protocol, ScanReport)>,
+}
+
+impl CampaignResult {
+    /// Responsiveness of one address (empty when it never answered).
+    pub fn ports(&self, addr: Ipv6Addr) -> PortSet {
+        self.responsive
+            .get(&u128::from(addr))
+            .copied()
+            .unwrap_or(PortSet::EMPTY)
+    }
+
+    /// Number of addresses responsive on ≥1 scanned protocol.
+    pub fn responsive_count(&self) -> usize {
+        self.responsive.len()
+    }
+
+    /// Number of addresses responsive on `proto`.
+    pub fn responsive_on(&self, proto: Protocol) -> usize {
+        self.responsive.values().filter(|p| p.contains(proto)).count()
+    }
+
+    /// Iterate `(address, ports)` for every responsive address, sorted.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv6Addr, PortSet)> + '_ {
+        let mut keys: Vec<u128> = self.responsive.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(move |k| (Ipv6Addr::from(k), self.responsive[&k]))
+    }
+
+    /// Total probe packets across all protocols.
+    pub fn packets_sent(&self) -> u64 {
+        self.reports.iter().map(|(_, r)| r.packets_sent).sum()
+    }
+}
+
+/// A reusable multi-protocol campaign over one scanner.
+pub struct Campaign<'a, T: Transport> {
+    scanner: &'a mut Scanner<T>,
+    protocols: Vec<Protocol>,
+}
+
+impl<'a, T: Transport> Campaign<'a, T> {
+    /// Campaign over the study's four standard targets.
+    pub fn standard(scanner: &'a mut Scanner<T>) -> Self {
+        Campaign {
+            scanner,
+            protocols: PROTOCOLS.to_vec(),
+        }
+    }
+
+    /// Campaign over a custom protocol list.
+    pub fn new(scanner: &'a mut Scanner<T>, protocols: Vec<Protocol>) -> Self {
+        Campaign { scanner, protocols }
+    }
+
+    /// Scan `targets` on every configured protocol.
+    pub fn run(&mut self, targets: &[Ipv6Addr]) -> CampaignResult {
+        let mut result = CampaignResult::default();
+        for &proto in &self.protocols {
+            let report = self.scanner.scan(targets.iter().copied(), proto);
+            for &hit in &report.hits {
+                result
+                    .responsive
+                    .entry(u128::from(hit))
+                    .or_insert(PortSet::EMPTY)
+                    .insert(proto);
+            }
+            result.reports.push((proto, report));
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ScannerConfig;
+    use crate::sim::SimTransport;
+    use netmodel::{World, WorldConfig};
+    use std::sync::Arc;
+
+    fn scanner(world: Arc<World>) -> Scanner<SimTransport> {
+        Scanner::new(
+            ScannerConfig {
+                retries: 3,
+                rate_pps: None,
+                ..ScannerConfig::default()
+            },
+            SimTransport::new(world),
+        )
+    }
+
+    #[test]
+    fn campaign_merges_per_protocol_results() {
+        let world = Arc::new(World::build(WorldConfig::tiny(0xCA4)));
+        // pick hosts with known, differing port sets
+        let icmp_only = world
+            .hosts()
+            .iter()
+            .find(|(a, r)| {
+                !world.is_aliased(*a)
+                    && r.responds(Protocol::Icmp)
+                    && !r.responds(Protocol::Tcp80)
+                    && !r.responds(Protocol::Tcp443)
+                    && !r.responds(Protocol::Udp53)
+            })
+            .map(|(a, _)| a)
+            .unwrap();
+        let web = world
+            .hosts()
+            .iter()
+            .find(|(a, r)| {
+                !world.is_aliased(*a) && r.responds(Protocol::Tcp443) && r.responds(Protocol::Icmp)
+            })
+            .map(|(a, _)| a)
+            .unwrap();
+        let dead: Ipv6Addr = "3fff::dead".parse().unwrap();
+
+        let mut s = scanner(world.clone());
+        let mut campaign = Campaign::standard(&mut s);
+        let result = campaign.run(&[icmp_only, web, dead]);
+
+        assert_eq!(result.reports.len(), 4);
+        assert!(result.ports(icmp_only).contains(Protocol::Icmp));
+        assert!(!result.ports(icmp_only).contains(Protocol::Tcp443));
+        assert!(result.ports(web).contains(Protocol::Tcp443));
+        assert!(result.ports(dead).is_empty());
+        assert_eq!(result.responsive_count(), 2);
+        assert!(result.packets_sent() >= 12, "3 targets × 4 protocols");
+        // merged view matches ground truth for the sampled hosts
+        for (addr, ports) in result.iter() {
+            for p in ports.iter() {
+                assert!(world.truth_responds(addr, p), "{addr} on {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn custom_protocol_subset() {
+        let world = Arc::new(World::build(WorldConfig::tiny(0xCA4)));
+        let target = world
+            .hosts()
+            .iter()
+            .find(|(a, r)| !world.is_aliased(*a) && r.responds(Protocol::Icmp))
+            .map(|(a, _)| a)
+            .unwrap();
+        let mut s = scanner(world);
+        let mut campaign = Campaign::new(&mut s, vec![Protocol::Icmp]);
+        let result = campaign.run(&[target]);
+        assert_eq!(result.reports.len(), 1);
+        assert_eq!(result.responsive_on(Protocol::Icmp), 1);
+        assert_eq!(result.responsive_on(Protocol::Udp53), 0);
+    }
+}

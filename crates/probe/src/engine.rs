@@ -1,0 +1,353 @@
+//! The scan engine: dedup, blocklist, rate limit, retry, classify.
+//!
+//! Implements the paper's scanning methodology (§4.1–§4.2, Appendix A):
+//! generated targets are deduplicated and scanned once; blocklisted
+//! networks are never probed; scans are rate limited; ICMP Destination
+//! Unreachable and TCP RST responses are counted but are **not** hits.
+
+use std::collections::HashSet;
+use std::net::Ipv6Addr;
+
+use netmodel::Protocol;
+use v6addr::PrefixSet;
+
+use crate::packet::{build_probe, parse_packet, validate_response, ParsedPacket};
+use crate::ratelimit::TokenBucket;
+use crate::transport::Transport;
+
+/// Scanner policy knobs.
+#[derive(Debug, Clone)]
+pub struct ScannerConfig {
+    /// Source address stamped on probes.
+    pub src: Ipv6Addr,
+    /// Validation salt (ZMap-style stateless response validation).
+    pub salt: u64,
+    /// Retransmissions after the first attempt (the paper's dealiasing
+    /// probes use 3 total attempts; scan probes here default to 2 total).
+    pub retries: u32,
+    /// Rate limit in packets/second; `None` disables limiting.
+    pub rate_pps: Option<f64>,
+    /// Networks that must never be probed (opt-out list, Appendix A).
+    pub blocklist: PrefixSet,
+    /// Drop responses that fail token validation.
+    pub validate: bool,
+}
+
+impl Default for ScannerConfig {
+    fn default() -> Self {
+        ScannerConfig {
+            src: "2001:db8:5ca0::1".parse().expect("static addr"),
+            salt: 0x5eed_5ca0,
+            retries: 1,
+            rate_pps: Some(10_000.0),
+            blocklist: PrefixSet::new(),
+            validate: true,
+        }
+    }
+}
+
+/// Outcome of probing one target to completion (with retries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Positive response — a hit.
+    Hit,
+    /// TCP RST — port closed; live device, but not a hit (§4.1).
+    Rst,
+    /// ICMP Destination Unreachable — not a hit (§4.1).
+    Unreachable,
+    /// Nothing came back.
+    Silent,
+}
+
+/// Results of one scan invocation.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    /// Responsive targets (deduplicated, in probe order).
+    pub hits: Vec<Ipv6Addr>,
+    /// Targets actually probed after dedup/blocklist.
+    pub probed: usize,
+    /// Targets skipped as duplicates.
+    pub duplicates: usize,
+    /// Targets skipped by the blocklist.
+    pub blocked: usize,
+    /// RST responders (not hits).
+    pub rsts: usize,
+    /// Unreachable-reported targets (not hits).
+    pub unreachables: usize,
+    /// Silent targets.
+    pub silent: usize,
+    /// Probe packets transmitted (incl. retries).
+    pub packets_sent: u64,
+    /// Virtual seconds the rate limiter would have imposed.
+    pub limited_seconds: f64,
+}
+
+impl ScanReport {
+    /// Hit rate over probed targets.
+    pub fn hit_rate(&self) -> f64 {
+        if self.probed == 0 {
+            0.0
+        } else {
+            self.hits.len() as f64 / self.probed as f64
+        }
+    }
+}
+
+/// The scanner: a [`Transport`] plus policy.
+#[derive(Debug)]
+pub struct Scanner<T: Transport> {
+    cfg: ScannerConfig,
+    transport: T,
+    limiter: Option<TokenBucket>,
+}
+
+impl<T: Transport> Scanner<T> {
+    /// Create a scanner over `transport`.
+    pub fn new(cfg: ScannerConfig, transport: T) -> Self {
+        let limiter = cfg.rate_pps.map(|r| TokenBucket::new(r, r));
+        Scanner {
+            cfg,
+            transport,
+            limiter,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ScannerConfig {
+        &self.cfg
+    }
+
+    /// Access the underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Total packets this scanner has transmitted.
+    pub fn packets_sent(&self) -> u64 {
+        self.transport.packets_sent()
+    }
+
+    /// Probe one target to completion, optionally with a region tag.
+    /// Returns the outcome and any region tag echoed by the response.
+    pub fn probe_target(
+        &mut self,
+        dst: Ipv6Addr,
+        proto: Protocol,
+        region: Option<u32>,
+    ) -> (ProbeOutcome, Option<u32>, f64) {
+        let mut waited = 0.0;
+        for _attempt in 0..=self.cfg.retries {
+            if let Some(tb) = self.limiter.as_mut() {
+                waited += tb.acquire();
+            }
+            let probe = build_probe(self.cfg.src, dst, proto, self.cfg.salt, region);
+            let Some(raw) = self.transport.send(&probe) else {
+                continue;
+            };
+            let Ok(parsed) = parse_packet(&raw) else {
+                continue; // malformed response: drop, maybe retry
+            };
+            if self.cfg.validate && !validate_response(self.cfg.salt, dst, &parsed) {
+                continue; // spoofed/late response: drop
+            }
+            let tag = parsed.region_tag();
+            match parsed {
+                ParsedPacket::EchoReply { .. } if proto == Protocol::Icmp => {
+                    return (ProbeOutcome::Hit, tag, waited);
+                }
+                ParsedPacket::Tcp { segment, .. }
+                    if matches!(proto, Protocol::Tcp80 | Protocol::Tcp443) =>
+                {
+                    if segment.is_syn_ack() {
+                        return (ProbeOutcome::Hit, tag, waited);
+                    }
+                    if segment.is_rst() {
+                        return (ProbeOutcome::Rst, None, waited);
+                    }
+                }
+                ParsedPacket::Dns { message, .. }
+                    if proto == Protocol::Udp53 && message.is_response =>
+                {
+                    return (ProbeOutcome::Hit, tag, waited);
+                }
+                ParsedPacket::DstUnreachable { .. } => {
+                    return (ProbeOutcome::Unreachable, None, waited);
+                }
+                _ => {} // response inapplicable to this probe: ignore
+            }
+        }
+        (ProbeOutcome::Silent, None, waited)
+    }
+
+    /// Scan a target list on one protocol, with dedup and blocklisting.
+    pub fn scan(
+        &mut self,
+        targets: impl IntoIterator<Item = Ipv6Addr>,
+        proto: Protocol,
+    ) -> ScanReport {
+        let start_packets = self.transport.packets_sent();
+        let mut report = ScanReport::default();
+        let mut seen: HashSet<u128> = HashSet::new();
+        for dst in targets {
+            if !seen.insert(u128::from(dst)) {
+                report.duplicates += 1;
+                continue;
+            }
+            if self.cfg.blocklist.contains_addr(dst) {
+                report.blocked += 1;
+                continue;
+            }
+            report.probed += 1;
+            let (outcome, _tag, waited) = self.probe_target(dst, proto, None);
+            report.limited_seconds += waited;
+            match outcome {
+                ProbeOutcome::Hit => report.hits.push(dst),
+                ProbeOutcome::Rst => report.rsts += 1,
+                ProbeOutcome::Unreachable => report.unreachables += 1,
+                ProbeOutcome::Silent => report.silent += 1,
+            }
+        }
+        report.packets_sent = self.transport.packets_sent() - start_packets;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimTransport;
+    use netmodel::{World, WorldConfig};
+    use std::sync::Arc;
+
+    fn scanner() -> (Scanner<SimTransport>, Arc<World>) {
+        let world = Arc::new(World::build(WorldConfig::tiny(31)));
+        let cfg = ScannerConfig {
+            retries: 3,
+            rate_pps: None,
+            ..ScannerConfig::default()
+        };
+        (Scanner::new(cfg, SimTransport::new(world.clone())), world)
+    }
+
+    fn live_hosts(world: &World, proto: Protocol, n: usize) -> Vec<Ipv6Addr> {
+        world
+            .hosts()
+            .iter()
+            .filter(|(a, r)| r.responds(proto) && !world.is_aliased(*a))
+            .map(|(a, _)| a)
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn scan_finds_live_hosts() {
+        let (mut s, w) = scanner();
+        let targets = live_hosts(&w, Protocol::Icmp, 50);
+        let report = s.scan(targets.clone(), Protocol::Icmp);
+        assert_eq!(report.probed, targets.len());
+        // with 4 attempts and 1% loss, missing any is very unlikely
+        assert_eq!(report.hits.len(), targets.len());
+        assert!(report.packets_sent >= targets.len() as u64);
+    }
+
+    #[test]
+    fn duplicates_are_probed_once() {
+        let (mut s, w) = scanner();
+        let mut targets = live_hosts(&w, Protocol::Icmp, 5);
+        targets.extend(targets.clone());
+        let report = s.scan(targets, Protocol::Icmp);
+        assert_eq!(report.probed, 5);
+        assert_eq!(report.duplicates, 5);
+    }
+
+    #[test]
+    fn blocklist_is_honored() {
+        let world = Arc::new(World::build(WorldConfig::tiny(31)));
+        let victims = live_hosts(&world, Protocol::Icmp, 3);
+        let mut blocklist = PrefixSet::new();
+        for v in &victims {
+            blocklist.insert(v6addr::Prefix::new(*v, 128));
+        }
+        let cfg = ScannerConfig {
+            blocklist,
+            rate_pps: None,
+            ..ScannerConfig::default()
+        };
+        let mut s = Scanner::new(cfg, SimTransport::new(world));
+        let report = s.scan(victims.clone(), Protocol::Icmp);
+        assert_eq!(report.blocked, victims.len());
+        assert_eq!(report.probed, 0);
+        assert_eq!(report.packets_sent, 0, "blocked targets get zero packets");
+    }
+
+    #[test]
+    fn rsts_and_unreachables_are_not_hits() {
+        let (mut s, w) = scanner();
+        // Find a live host *without* TCP80: probing it elicits RST or
+        // silence, never a hit.
+        let closed: Vec<Ipv6Addr> = w
+            .hosts()
+            .iter()
+            .filter(|(a, r)| {
+                !r.churned
+                    && !r.ports.contains(Protocol::Tcp80)
+                    && r.responds_any()
+                    && !w.is_aliased(*a)
+            })
+            .map(|(a, _)| a)
+            .take(40)
+            .collect();
+        assert!(!closed.is_empty());
+        let report = s.scan(closed.clone(), Protocol::Tcp80);
+        assert!(report.hits.is_empty(), "closed ports must not be hits");
+        assert_eq!(report.rsts + report.silent, closed.len());
+        assert!(report.rsts > 0, "some devices send RSTs");
+    }
+
+    #[test]
+    fn churned_hosts_are_silent() {
+        let (mut s, w) = scanner();
+        let dead: Vec<Ipv6Addr> = w
+            .hosts()
+            .iter()
+            .filter(|(a, r)| r.churned && !w.is_aliased(*a))
+            .map(|(a, _)| a)
+            .take(20)
+            .collect();
+        let report = s.scan(dead.clone(), Protocol::Icmp);
+        assert!(report.hits.is_empty());
+        assert_eq!(report.silent, dead.len());
+    }
+
+    #[test]
+    fn retries_overcome_base_loss() {
+        // With 1% loss and 4 attempts, 500 live hosts should all answer.
+        let (mut s, w) = scanner();
+        let targets = live_hosts(&w, Protocol::Icmp, 500);
+        let report = s.scan(targets.clone(), Protocol::Icmp);
+        assert_eq!(report.hits.len(), targets.len());
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        let mut r = ScanReport::default();
+        assert_eq!(r.hit_rate(), 0.0);
+        r.probed = 10;
+        r.hits = vec!["::1".parse().unwrap(); 3];
+        assert!((r.hit_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_limiter_accumulates_virtual_time() {
+        let world = Arc::new(World::build(WorldConfig::tiny(31)));
+        let targets = live_hosts(&world, Protocol::Icmp, 30);
+        let cfg = ScannerConfig {
+            rate_pps: Some(10.0), // absurdly slow to force waiting
+            retries: 0,
+            ..ScannerConfig::default()
+        };
+        let mut s = Scanner::new(cfg, SimTransport::new(world));
+        let report = s.scan(targets, Protocol::Icmp);
+        assert!(report.limited_seconds > 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! The scanning engine of the study — a Rust equivalent of Scanv6 (§4.2).
+//!
+//! The paper scans TGA output with Scanv6, a scanner chosen because it
+//! solves "missing or problematic blocklisting and lack of packet
+//! verification" in earlier tools. This crate reproduces that scanner
+//! faithfully:
+//!
+//! - [`packet`]: real wire-format construction and *validated* parsing of
+//!   ICMPv6 Echo, TCP SYN, and UDP DNS probes — checksums included. Every
+//!   probe round-trips through genuine packet bytes, even in simulation.
+//! - [`engine::Scanner`]: deduplication, blocklisting (Appendix A),
+//!   token-bucket rate limiting (the paper rate-limits to 10k pps),
+//!   per-target retries, and §4.1's classification rules — ICMP
+//!   Destination Unreachable and TCP RST are *never* hits.
+//! - [`transport::Transport`]: the byte-level boundary. [`sim::SimTransport`]
+//!   implements it against the simulated Internet: it parses the probe
+//!   bytes, consults the world oracle, and crafts a real response packet.
+//! - [`oracle::ScanOracle`]: the feedback interface online TGAs (6Hit,
+//!   6Scan, DET, 6Sense) and the online dealiaser use, including 6Scan's
+//!   payload region-encoding, which round-trips through the actual probe
+//!   payload rather than scanner bookkeeping.
+
+pub mod campaign;
+pub mod engine;
+pub mod oracle;
+pub mod packet;
+pub mod pcap;
+pub mod ratelimit;
+pub mod sim;
+pub mod transport;
+
+pub use campaign::{Campaign, CampaignResult};
+pub use engine::{ScanReport, Scanner, ScannerConfig};
+pub use oracle::{NullOracle, ScanOracle};
+pub use packet::{build_probe, parse_packet, PacketError, ParsedPacket};
+pub use pcap::{CapturingTransport, PcapWriter};
+pub use ratelimit::TokenBucket;
+pub use sim::SimTransport;
+pub use transport::Transport;

@@ -1,0 +1,136 @@
+//! Token-bucket rate limiting with a virtual clock.
+//!
+//! Appendix A: the paper "significantly rate-limit[s] all scans to ten
+//! thousand packets per second." The limiter here enforces the same policy;
+//! in simulation it advances a *virtual* clock (so experiments report how
+//! long a scan *would* take without actually sleeping), and a real
+//! deployment would sleep for the returned durations.
+
+/// A token bucket: `rate` tokens/second, capacity `burst`.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    /// Virtual time in seconds since the limiter was created.
+    now: f64,
+    /// Total virtual time spent waiting.
+    waited: f64,
+}
+
+impl TokenBucket {
+    /// A bucket permitting `rate` packets/second with `burst` of headroom.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not positive.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        let burst = burst.max(1.0);
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            now: 0.0,
+            waited: 0.0,
+        }
+    }
+
+    /// The paper's scan policy: 10k pps with one second of burst.
+    pub fn paper_policy() -> Self {
+        TokenBucket::new(10_000.0, 10_000.0)
+    }
+
+    /// Acquire one token, advancing the virtual clock as needed. Returns
+    /// the seconds a real deployment would have slept.
+    pub fn acquire(&mut self) -> f64 {
+        self.tokens = (self.tokens + 0.0).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            return 0.0;
+        }
+        // must wait until one token accrues
+        let deficit = 1.0 - self.tokens;
+        let wait = deficit / self.rate;
+        self.now += wait;
+        self.waited += wait;
+        self.tokens = 0.0;
+        wait
+    }
+
+    /// Refill for `dt` virtual seconds elapsed outside `acquire`.
+    pub fn advance(&mut self, dt: f64) {
+        self.now += dt;
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+    }
+
+    /// Tokens available right now.
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+
+    /// Total virtual seconds spent rate-limited.
+    pub fn total_waited(&self) -> f64 {
+        self.waited
+    }
+
+    /// Current virtual time.
+    pub fn virtual_now(&self) -> f64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_is_free_then_limited() {
+        let mut tb = TokenBucket::new(10.0, 5.0);
+        for _ in 0..5 {
+            assert_eq!(tb.acquire(), 0.0);
+        }
+        let w = tb.acquire();
+        assert!(w > 0.0, "sixth packet should wait");
+        assert!((w - 0.1).abs() < 1e-9, "1 token at 10/s = 0.1s, got {w}");
+    }
+
+    #[test]
+    fn sustained_rate_is_enforced() {
+        let mut tb = TokenBucket::new(100.0, 1.0);
+        let mut total = 0.0;
+        for _ in 0..1000 {
+            total += tb.acquire();
+        }
+        // 1000 packets at 100 pps ≈ 10 seconds of waiting (minus burst)
+        assert!((total - 9.99).abs() < 0.5, "waited {total}");
+        assert_eq!(tb.total_waited(), total);
+    }
+
+    #[test]
+    fn advance_refills() {
+        let mut tb = TokenBucket::new(10.0, 10.0);
+        for _ in 0..10 {
+            tb.acquire();
+        }
+        tb.advance(1.0); // refill fully
+        assert!((tb.available() - 10.0).abs() < 1e-9);
+        assert_eq!(tb.acquire(), 0.0);
+    }
+
+    #[test]
+    fn paper_policy_is_10k_pps() {
+        let mut tb = TokenBucket::paper_policy();
+        // consume the burst
+        for _ in 0..10_000 {
+            assert_eq!(tb.acquire(), 0.0);
+        }
+        let w = tb.acquire();
+        assert!((w - 1.0 / 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        TokenBucket::new(0.0, 1.0);
+    }
+}

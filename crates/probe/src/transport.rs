@@ -1,0 +1,61 @@
+//! The byte-level transport boundary.
+//!
+//! The scanner never sees the world directly: it hands raw packet bytes to
+//! a [`Transport`] and receives raw response bytes (or silence). In the
+//! paper's deployment this is a raw socket; here it is the simulated
+//! Internet ([`crate::sim::SimTransport`]) — everything above the transport
+//! is identical either way.
+
+/// A request/response packet transport.
+///
+/// `send` transmits one probe packet and synchronously returns the response
+/// packet, if any arrived within the probe timeout. Scanning IPv6 at the
+/// paper's rates is effectively stateless request/response, so a
+/// synchronous interface keeps the engine simple without losing fidelity;
+/// an async raw-socket implementation would buffer and match responses by
+/// validation token.
+pub trait Transport {
+    /// Transmit `packet` and return the response bytes, or `None` on
+    /// timeout.
+    fn send(&mut self, packet: &[u8]) -> Option<Vec<u8>>;
+
+    /// Total packets transmitted through this transport.
+    fn packets_sent(&self) -> u64;
+}
+
+/// A scripted transport for unit tests: pops pre-programmed responses.
+#[derive(Debug, Default)]
+pub struct ScriptedTransport {
+    /// Responses to return, oldest first. `None` entries simulate timeouts.
+    pub script: std::collections::VecDeque<Option<Vec<u8>>>,
+    /// Every packet that was sent, in order.
+    pub sent: Vec<Vec<u8>>,
+}
+
+impl Transport for ScriptedTransport {
+    fn send(&mut self, packet: &[u8]) -> Option<Vec<u8>> {
+        self.sent.push(packet.to_vec());
+        self.script.pop_front().flatten()
+    }
+
+    fn packets_sent(&self) -> u64 {
+        self.sent.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_transport_replays_in_order() {
+        let mut t = ScriptedTransport::default();
+        t.script.push_back(Some(vec![1, 2, 3]));
+        t.script.push_back(None);
+        assert_eq!(t.send(b"a"), Some(vec![1, 2, 3]));
+        assert_eq!(t.send(b"b"), None);
+        assert_eq!(t.send(b"c"), None); // script exhausted = timeout
+        assert_eq!(t.packets_sent(), 3);
+        assert_eq!(t.sent.len(), 3);
+    }
+}

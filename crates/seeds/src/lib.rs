@@ -1,0 +1,32 @@
+//! Seed dataset collection and preprocessing (§5, Tables 3/7/8, Figs 1–2).
+//!
+//! The study assembles seeds from twelve sources in three families:
+//!
+//! - **Domains** resolved via AAAA lookups: Censys CT logs, the archival
+//!   Rapid7 FDNS snapshot, five toplists (Umbrella, Majestic, Tranco,
+//!   SecRank, Radar), and CAIDA DNS Names;
+//! - **Routers** from traceroute platforms: Scamper (CAIDA topology) and
+//!   RIPE Atlas;
+//! - **Hitlists**: the IPv6 Hitlist and AddrMiner.
+//!
+//! Each collector samples the simulated Internet with that source's
+//! documented bias — traceroute sources see router interfaces across almost
+//! every AS, domain sources see servers concentrated in hosting ASes,
+//! hitlists are broad but partly stale, and AddrMiner (TGA-derived) drags
+//! in aliased regions. Those compositional properties, summarized by
+//! [`overlap::OverlapMatrix`] and consumed by the preprocessing pipeline in
+//! [`preprocess`], drive every downstream research question.
+
+pub mod collect;
+pub mod domains;
+pub mod hitlists;
+pub mod io;
+pub mod overlap;
+pub mod preprocess;
+pub mod routes;
+pub mod source;
+
+pub use collect::{collect_all, CollectorConfig, SeedCollection, SourceDataset};
+pub use overlap::OverlapMatrix;
+pub use preprocess::{verify_active, ActivenessMap, SeedPipeline};
+pub use source::{DomainStats, SourceId, SourceKind};

@@ -1,0 +1,355 @@
+//! The divisive hierarchical space tree shared by the tree-family TGAs.
+//!
+//! 6Tree introduced the construction (§2.1): recursively split the seed set
+//! on a nybble position until leaves are small, producing *regions* —
+//! patterns with pinned high nybbles and free low dimensions. 6Scan and
+//! 6Hit inherit 6Tree's leftmost-variable split; DET replaced it with an
+//! entropy-guided split ("updating 6Tree's splitting heuristic to an
+//! entropy-based approach"); 6Graph uses the same entropy splits offline.
+
+use std::net::Ipv6Addr;
+
+use rand::Rng;
+use v6addr::{nybble_of, NYBBLES};
+
+use crate::pattern::{free_histograms, Pattern, ValueHist};
+
+/// How a node picks its split dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitStrategy {
+    /// Leftmost (highest-order) position with more than one value —
+    /// 6Tree / 6Scan / 6Hit.
+    Leftmost,
+    /// The variable position with *minimum* entropy — DET / 6Graph —
+    /// which peels off near-constant structure first.
+    MinEntropy,
+}
+
+/// A leaf region of the space tree.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// The pinned/free template.
+    pub pattern: Pattern,
+    /// Value histograms at the free positions, from this region's seeds.
+    pub hists: Vec<(usize, ValueHist)>,
+    /// Number of seeds that landed in the region.
+    pub seed_count: usize,
+    /// The member seeds themselves (regions partition the input, so the
+    /// total memory across regions is one copy of the seed list).
+    pub members: Vec<Ipv6Addr>,
+}
+
+impl Region {
+    /// Build a region directly from its member seeds.
+    pub fn from_seeds(seeds: &[Ipv6Addr]) -> Region {
+        let pattern = Pattern::from_seeds(seeds);
+        Region {
+            hists: free_histograms(&pattern, seeds),
+            seed_count: seeds.len(),
+            pattern,
+            members: seeds.to_vec(),
+        }
+    }
+
+    /// Seed density score: seeds per log-space. Larger = denser = more
+    /// promising. (Equivalent to `ln(count) − free_dims·ln 16`.)
+    pub fn density(&self) -> f64 {
+        if self.seed_count == 0 {
+            return f64::NEG_INFINITY;
+        }
+        (self.seed_count as f64).ln() - self.pattern.free_count() as f64 * 16f64.ln()
+    }
+
+    /// Sample one candidate address: free positions drawn from the
+    /// region's histograms with exploration probability `explore`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, explore: f64) -> Ipv6Addr {
+        let values: Vec<u8> = self
+            .hists
+            .iter()
+            .map(|(_, h)| h.sample(rng, explore))
+            .collect();
+        self.pattern.materialize(&values)
+    }
+
+    /// Widen the region by freeing its lowest-order fixed nybble — the
+    /// "expand variable dimensions upward" step online tree TGAs use when
+    /// a leaf's space is exhausted. The freed dimension gets an *empty*
+    /// histogram (uniform sampling): the members carry no information
+    /// about it beyond the single value they shared.
+    ///
+    /// Returns `None` once expansion would cross into the routing prefix
+    /// (positions above nybble 12, the /48 boundary).
+    pub fn widened(&self) -> Option<Region> {
+        let pos = (12..NYBBLES).rev().find(|&i| self.pattern.fixed[i].is_some())?;
+        let mut pattern = self.pattern;
+        pattern.fixed[pos] = None;
+        let mut hists = free_histograms(&pattern, &self.members);
+        if let Some(h) = hists.iter_mut().find(|(p, _)| *p == pos) {
+            h.1 = ValueHist::default();
+        }
+        Some(Region {
+            pattern,
+            hists,
+            seed_count: self.seed_count,
+            members: self.members.clone(),
+        })
+    }
+
+    /// Size of the region's free space, if it fits in a `u64`
+    /// (16 free dims or fewer).
+    pub fn space_size(&self) -> Option<u64> {
+        let dims = self.pattern.free_count() as u32;
+        if dims <= 15 {
+            Some(16u64.pow(dims))
+        } else {
+            None
+        }
+    }
+
+    /// Systematically enumerate up to `limit` addresses in the region,
+    /// visiting per-dimension values in observed-frequency order first
+    /// (so the most pattern-consistent candidates come out first).
+    pub fn enumerate(&self, limit: usize) -> Vec<Ipv6Addr> {
+        let dims = self.hists.len();
+        if dims == 0 {
+            return vec![self.pattern.materialize(&[])];
+        }
+        // Per-dim value order: observed (by descending count), then the rest.
+        let orders: Vec<Vec<u8>> = self
+            .hists
+            .iter()
+            .map(|(_, h)| {
+                let mut vals: Vec<u8> = (0..16).collect();
+                vals.sort_by_key(|&v| std::cmp::Reverse(h.0[v as usize]));
+                vals
+            })
+            .collect();
+        let mut out = Vec::with_capacity(limit.min(4096));
+        // Mixed-radix counter over value *ranks*; low dims advance fastest
+        // so low-order nybbles sweep first (the low-byte pattern).
+        let mut ranks = vec![0usize; dims];
+        let mut values = vec![0u8; dims];
+        loop {
+            for (i, &r) in ranks.iter().enumerate() {
+                values[i] = orders[i][r];
+            }
+            out.push(self.pattern.materialize(&values));
+            if out.len() >= limit {
+                break;
+            }
+            // increment, least-significant dimension first
+            let mut i = dims;
+            loop {
+                if i == 0 {
+                    return out; // space exhausted
+                }
+                i -= 1;
+                ranks[i] += 1;
+                if ranks[i] < 16 {
+                    break;
+                }
+                ranks[i] = 0;
+            }
+        }
+        out
+    }
+}
+
+/// Recursively build the leaf regions of the space tree.
+///
+/// - `max_leaf`: stop splitting below this many seeds;
+/// - `max_regions`: hard cap on produced regions (remaining subtrees
+///   become leaves as-is).
+pub fn build_regions(
+    seeds: &[Ipv6Addr],
+    strategy: SplitStrategy,
+    max_leaf: usize,
+    max_regions: usize,
+) -> Vec<Region> {
+    let mut out = Vec::new();
+    if seeds.is_empty() {
+        return out;
+    }
+    let mut work: Vec<Vec<Ipv6Addr>> = vec![seeds.to_vec()];
+    while let Some(group) = work.pop() {
+        // A split can add up to 16 pending groups; reserve headroom so the
+        // final region count never exceeds the cap.
+        if out.len() + work.len() + 16 >= max_regions || group.len() <= max_leaf {
+            out.push(Region::from_seeds(&group));
+            continue;
+        }
+        match pick_split(&group, strategy) {
+            None => out.push(Region::from_seeds(&group)), // all identical
+            Some(dim) => {
+                let mut buckets: Vec<Vec<Ipv6Addr>> = vec![Vec::new(); 16];
+                for &a in &group {
+                    buckets[nybble_of(a, dim) as usize].push(a);
+                }
+                for b in buckets.into_iter().filter(|b| !b.is_empty()) {
+                    work.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Choose the split dimension, or `None` when every position is constant.
+fn pick_split(group: &[Ipv6Addr], strategy: SplitStrategy) -> Option<usize> {
+    let mut hists = [ValueHist::default(); NYBBLES];
+    for &a in group {
+        for (i, h) in hists.iter_mut().enumerate() {
+            h.add(nybble_of(a, i));
+        }
+    }
+    match strategy {
+        SplitStrategy::Leftmost => (0..NYBBLES).find(|&i| hists[i].distinct() > 1),
+        SplitStrategy::MinEntropy => (0..NYBBLES)
+            .filter(|&i| hists[i].distinct() > 1)
+            .min_by(|&a, &b| {
+                hists[a]
+                    .entropy()
+                    .partial_cmp(&hists[b].entropy())
+                    .expect("entropies are finite")
+                    .then(a.cmp(&b))
+            }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    /// Seeds across two /48 sites with low-byte hosts.
+    fn two_site_seeds() -> Vec<Ipv6Addr> {
+        let mut v = Vec::new();
+        for site in [0x1u128, 0x2] {
+            for host in 1..=20u128 {
+                v.push(Ipv6Addr::from(
+                    0x2600_0100_0000_0000_0000_0000_0000_0000u128 | (site << 80) | host,
+                ));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn regions_partition_the_seeds() {
+        let seeds = two_site_seeds();
+        let regions = build_regions(&seeds, SplitStrategy::Leftmost, 8, 1024);
+        let total: usize = regions.iter().map(|r| r.seed_count).sum();
+        assert_eq!(total, seeds.len());
+        // every seed matches exactly one region's pattern
+        for &s in &seeds {
+            let matching = regions.iter().filter(|r| r.pattern.matches(s)).count();
+            assert!(matching >= 1, "{s} matched {matching} regions");
+        }
+    }
+
+    #[test]
+    fn small_groups_are_leaves() {
+        let seeds = vec![a("2001:db8::1"), a("2001:db8::2")];
+        let regions = build_regions(&seeds, SplitStrategy::Leftmost, 8, 1024);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].seed_count, 2);
+    }
+
+    #[test]
+    fn identical_seeds_do_not_loop() {
+        let seeds = vec![a("2001:db8::1"); 100];
+        let regions = build_regions(&seeds, SplitStrategy::Leftmost, 8, 1024);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].pattern.free_count(), 0);
+    }
+
+    #[test]
+    fn region_cap_is_respected() {
+        let seeds: Vec<Ipv6Addr> = (0..4096u128)
+            .map(|i| Ipv6Addr::from((0x2600u128 << 112) | (i * 0x10001)))
+            .collect();
+        let regions = build_regions(&seeds, SplitStrategy::Leftmost, 1, 64);
+        assert!(regions.len() <= 64, "{}", regions.len());
+    }
+
+    #[test]
+    fn min_entropy_differs_from_leftmost() {
+        // Construct seeds where the leftmost variable dim is high-entropy
+        // (uniform) but a later dim is low-entropy (binary): MinEntropy
+        // must split the later dim first.
+        let mut seeds = Vec::new();
+        for hi in 0..16u128 {
+            for lo in [0u128, 1] {
+                seeds.push(Ipv6Addr::from((0x2600u128 << 112) | (hi << 64) | lo));
+            }
+        }
+        let left = pick_split(&seeds, SplitStrategy::Leftmost).unwrap();
+        let ent = pick_split(&seeds, SplitStrategy::MinEntropy).unwrap();
+        assert!(left < ent, "leftmost {left} vs min-entropy {ent}");
+    }
+
+    #[test]
+    fn density_orders_tight_regions_first() {
+        let dense = Region::from_seeds(&[a("2600::1"), a("2600::2"), a("2600::3")]);
+        let sparse = Region::from_seeds(&[a("2600::1"), a("2603:dead:beef:1234::ffff")]);
+        assert!(dense.density() > sparse.density());
+    }
+
+    #[test]
+    fn samples_match_the_pattern() {
+        let seeds = two_site_seeds();
+        let regions = build_regions(&seeds, SplitStrategy::Leftmost, 8, 1024);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for r in &regions {
+            for _ in 0..20 {
+                let s = r.sample(&mut rng, 0.1);
+                assert!(r.pattern.matches(s));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_regions() {
+        assert!(build_regions(&[], SplitStrategy::Leftmost, 8, 64).is_empty());
+    }
+
+    #[test]
+    fn enumerate_covers_small_spaces_completely() {
+        let seeds = vec![a("2600::1"), a("2600::2")]; // one free dim
+        let r = Region::from_seeds(&seeds);
+        assert_eq!(r.space_size(), Some(16));
+        let all = r.enumerate(100);
+        assert_eq!(all.len(), 16);
+        let mut uniq = all.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 16, "no duplicates in enumeration");
+        // observed values come first
+        assert!(all[0] == a("2600::1") || all[0] == a("2600::2"));
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let seeds = vec![a("2600::1"), a("2600::ff2")]; // three free dims
+        let r = Region::from_seeds(&seeds);
+        assert_eq!(r.enumerate(10).len(), 10);
+    }
+
+    #[test]
+    fn enumerate_fixed_region_returns_single_address() {
+        let r = Region::from_seeds(&[a("2600::9")]);
+        assert_eq!(r.enumerate(5), vec![a("2600::9")]);
+    }
+
+    #[test]
+    fn space_size_overflows_to_none() {
+        let r = Region::from_seeds(&[a("2600::1"), a("3fff:ffff:ffff:ffff:ffff:ffff:ffff:fff2")]);
+        assert!(r.pattern.free_count() > 15);
+        assert_eq!(r.space_size(), None);
+    }
+}

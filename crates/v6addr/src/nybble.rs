@@ -1,0 +1,203 @@
+//! Nybble-granularity views of IPv6 addresses.
+//!
+//! TGAs operate on the 32 hexadecimal digits ("nybbles") of an address:
+//! Entropy/IP computes per-nybble entropy, the tree family (6Tree, DET,
+//! 6Graph, 6Scan, 6Hit) splits the space one nybble at a time, and 6Gen
+//! clusters addresses by nybble agreement. Nybble 0 is the most significant
+//! digit (`2` in `2001:db8::`), nybble 31 the least significant.
+
+use std::net::Ipv6Addr;
+
+/// Number of nybbles in an IPv6 address.
+pub const NYBBLES: usize = 32;
+
+/// A fixed 32-nybble representation of an IPv6 address.
+///
+/// This is the working representation inside every TGA: cheap to index,
+/// cheap to mutate, and convertible to/from [`Ipv6Addr`] losslessly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Nybbles(pub [u8; NYBBLES]);
+
+impl Nybbles {
+    /// Decompose an address into nybbles, most significant first.
+    pub fn from_addr(addr: Ipv6Addr) -> Self {
+        let bits = u128::from(addr);
+        let mut out = [0u8; NYBBLES];
+        for (i, n) in out.iter_mut().enumerate() {
+            let shift = (NYBBLES - 1 - i) * 4;
+            *n = ((bits >> shift) & 0xf) as u8;
+        }
+        Nybbles(out)
+    }
+
+    /// Recompose the address.
+    pub fn to_addr(self) -> Ipv6Addr {
+        let mut bits: u128 = 0;
+        for n in self.0 {
+            bits = (bits << 4) | u128::from(n & 0xf);
+        }
+        Ipv6Addr::from(bits)
+    }
+
+    /// Nybble at `idx` (0 = most significant).
+    #[inline]
+    pub fn get(&self, idx: usize) -> u8 {
+        self.0[idx]
+    }
+
+    /// Set nybble `idx` to `value` (low 4 bits used).
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: u8) {
+        self.0[idx] = value & 0xf;
+    }
+
+    /// Returns a copy with nybble `idx` set to `value`.
+    #[inline]
+    pub fn with(mut self, idx: usize, value: u8) -> Self {
+        self.set(idx, value);
+        self
+    }
+
+    /// Number of leading nybbles shared with `other`.
+    pub fn common_prefix_len(&self, other: &Nybbles) -> usize {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Number of positions at which the two addresses differ
+    /// (nybble-granularity Hamming distance, as used by 6Gen clustering).
+    pub fn hamming(&self, other: &Nybbles) -> usize {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+impl From<Ipv6Addr> for Nybbles {
+    fn from(a: Ipv6Addr) -> Self {
+        Nybbles::from_addr(a)
+    }
+}
+
+impl From<Nybbles> for Ipv6Addr {
+    fn from(n: Nybbles) -> Self {
+        n.to_addr()
+    }
+}
+
+impl std::fmt::Debug for Nybbles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, n) in self.0.iter().enumerate() {
+            if i > 0 && i % 4 == 0 {
+                write!(f, ":")?;
+            }
+            write!(f, "{n:x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Nybble `idx` of `addr` without materializing a [`Nybbles`] array.
+#[inline]
+pub fn nybble_of(addr: Ipv6Addr, idx: usize) -> u8 {
+    debug_assert!(idx < NYBBLES);
+    let bits = u128::from(addr);
+    ((bits >> ((NYBBLES - 1 - idx) * 4)) & 0xf) as u8
+}
+
+/// `addr` with nybble `idx` replaced by `value`.
+#[inline]
+pub fn with_nybble(addr: Ipv6Addr, idx: usize, value: u8) -> Ipv6Addr {
+    debug_assert!(idx < NYBBLES);
+    let shift = (NYBBLES - 1 - idx) * 4;
+    let bits = u128::from(addr);
+    let cleared = bits & !(0xfu128 << shift);
+    Ipv6Addr::from(cleared | (u128::from(value & 0xf) << shift))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        for s in ["::", "2001:db8::1", "ff02::1:ff00:1234", "::ffff:1.2.3.4"] {
+            let addr = a(s);
+            assert_eq!(Nybbles::from_addr(addr).to_addr(), addr);
+        }
+    }
+
+    #[test]
+    fn nybble_order_is_msb_first() {
+        let n = Nybbles::from_addr(a("2001:db8::1"));
+        assert_eq!(n.get(0), 0x2);
+        assert_eq!(n.get(1), 0x0);
+        assert_eq!(n.get(2), 0x0);
+        assert_eq!(n.get(3), 0x1);
+        assert_eq!(n.get(4), 0x0);
+        assert_eq!(n.get(5), 0xd);
+        assert_eq!(n.get(6), 0xb);
+        assert_eq!(n.get(7), 0x8);
+        assert_eq!(n.get(31), 0x1);
+    }
+
+    #[test]
+    fn set_and_with() {
+        let mut n = Nybbles::from_addr(a("::"));
+        n.set(0, 0x2);
+        assert_eq!(n.to_addr(), a("2000::"));
+        let m = n.with(31, 0xf);
+        assert_eq!(m.to_addr(), a("2000::f"));
+        // original untouched
+        assert_eq!(n.to_addr(), a("2000::"));
+    }
+
+    #[test]
+    fn set_masks_high_bits() {
+        let mut n = Nybbles::from_addr(a("::"));
+        n.set(31, 0xff);
+        assert_eq!(n.get(31), 0xf);
+    }
+
+    #[test]
+    fn common_prefix_and_hamming() {
+        let x = Nybbles::from_addr(a("2001:db8::1"));
+        let y = Nybbles::from_addr(a("2001:db8::2"));
+        assert_eq!(x.common_prefix_len(&y), 31);
+        assert_eq!(x.hamming(&y), 1);
+        let z = Nybbles::from_addr(a("3001:db8::1"));
+        assert_eq!(x.common_prefix_len(&z), 0);
+        assert_eq!(x.hamming(&z), 1);
+        assert_eq!(x.hamming(&x), 0);
+    }
+
+    #[test]
+    fn nybble_of_matches_array_form() {
+        let addr = a("fe80:1234:5678:9abc:def0:1111:2222:3333");
+        let arr = Nybbles::from_addr(addr);
+        for i in 0..NYBBLES {
+            assert_eq!(nybble_of(addr, i), arr.get(i), "idx {i}");
+        }
+    }
+
+    #[test]
+    fn with_nybble_matches_array_form() {
+        let addr = a("2001:db8:aaaa:bbbb::42");
+        for i in 0..NYBBLES {
+            for v in [0u8, 7, 0xf] {
+                let fast = with_nybble(addr, i, v);
+                let slow = Nybbles::from_addr(addr).with(i, v).to_addr();
+                assert_eq!(fast, slow, "idx {i} value {v}");
+            }
+        }
+    }
+}

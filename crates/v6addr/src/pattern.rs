@@ -1,0 +1,173 @@
+//! Per-nybble statistics over sets of addresses.
+//!
+//! Entropy/IP's segmentation, DET's entropy-guided tree splits, and 6Graph's
+//! pattern mining all start from the same primitive: for each of the 32
+//! nybble positions, how are values distributed across the input set, and
+//! how much entropy does that distribution carry?
+
+use std::net::Ipv6Addr;
+
+use crate::nybble::{nybble_of, NYBBLES};
+
+/// Occurrence counts of each hex value (0..=15) at each nybble position.
+pub fn nybble_value_counts(addrs: &[Ipv6Addr]) -> [[u32; 16]; NYBBLES] {
+    let mut counts = [[0u32; 16]; NYBBLES];
+    for &a in addrs {
+        let bits = u128::from(a);
+        for (i, slot) in counts.iter_mut().enumerate() {
+            let v = ((bits >> ((NYBBLES - 1 - i) * 4)) & 0xf) as usize;
+            slot[v] += 1;
+        }
+    }
+    counts
+}
+
+/// Shannon entropy (bits, 0..=4) of the value distribution at one position.
+pub fn entropy_of_counts(counts: &[u32; 16]) -> f64 {
+    let total: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total as f64;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Shannon entropy of nybble position `idx` across `addrs`.
+pub fn nybble_entropy(addrs: &[Ipv6Addr], idx: usize) -> f64 {
+    let mut counts = [0u32; 16];
+    for &a in addrs {
+        counts[nybble_of(a, idx) as usize] += 1;
+    }
+    entropy_of_counts(&counts)
+}
+
+/// Entropy and value statistics across all 32 nybble positions.
+#[derive(Debug, Clone)]
+pub struct EntropyProfile {
+    /// Shannon entropy per position, in bits (0 = constant, 4 = uniform).
+    pub entropy: [f64; NYBBLES],
+    /// Raw value counts per position.
+    pub counts: [[u32; 16]; NYBBLES],
+    /// Number of addresses profiled.
+    pub n: usize,
+}
+
+impl EntropyProfile {
+    /// Profile a set of addresses.
+    pub fn compute(addrs: &[Ipv6Addr]) -> Self {
+        let counts = nybble_value_counts(addrs);
+        let mut entropy = [0.0; NYBBLES];
+        for (e, c) in entropy.iter_mut().zip(counts.iter()) {
+            *e = entropy_of_counts(c);
+        }
+        EntropyProfile {
+            entropy,
+            counts,
+            n: addrs.len(),
+        }
+    }
+
+    /// Positions whose entropy is at most `eps` — the "fixed" nybbles.
+    pub fn constant_positions(&self, eps: f64) -> Vec<usize> {
+        (0..NYBBLES).filter(|&i| self.entropy[i] <= eps).collect()
+    }
+
+    /// Segment the address into runs of positions with similar entropy,
+    /// following Entropy/IP's segmentation: adjacent positions whose entropy
+    /// differs by less than `threshold` belong to one segment.
+    pub fn segments(&self, threshold: f64) -> Vec<std::ops::Range<usize>> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for i in 1..NYBBLES {
+            if (self.entropy[i] - self.entropy[i - 1]).abs() >= threshold {
+                out.push(start..i);
+                start = i;
+            }
+        }
+        out.push(start..NYBBLES);
+        out
+    }
+
+    /// Values observed at position `idx`, most frequent first.
+    pub fn ranked_values(&self, idx: usize) -> Vec<(u8, u32)> {
+        let mut vals: Vec<(u8, u32)> = self.counts[idx]
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u8, c))
+            .collect();
+        vals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn entropy_of_constant_is_zero() {
+        let addrs = vec![a("2001:db8::1"); 10];
+        assert_eq!(nybble_entropy(&addrs, 0), 0.0);
+        assert_eq!(nybble_entropy(&addrs, 31), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_four_bits() {
+        // 16 addresses differing uniformly in the last nybble.
+        let addrs: Vec<Ipv6Addr> = (0..16u128).map(|i| Ipv6Addr::from((0x2001_0db8 << 96) | i)).collect();
+        let h = nybble_entropy(&addrs, 31);
+        assert!((h - 4.0).abs() < 1e-9, "h = {h}");
+    }
+
+    #[test]
+    fn entropy_of_two_values_is_one_bit() {
+        let addrs = vec![a("2001:db8::1"), a("2001:db8::2")];
+        assert!((nybble_entropy(&addrs, 31) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_of_empty_is_zero() {
+        assert_eq!(nybble_entropy(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn profile_constant_positions() {
+        let addrs: Vec<Ipv6Addr> = (0..8u128).map(|i| Ipv6Addr::from((0x2001_0db8 << 96) | i)).collect();
+        let prof = EntropyProfile::compute(&addrs);
+        let constant = prof.constant_positions(0.0);
+        // all but the last nybble are constant
+        assert_eq!(constant.len(), 31);
+        assert!(!constant.contains(&31));
+    }
+
+    #[test]
+    fn segments_cover_all_positions() {
+        let addrs: Vec<Ipv6Addr> = (0..64u128).map(|i| Ipv6Addr::from((0x2001_0db8 << 96) | (i * 7))).collect();
+        let prof = EntropyProfile::compute(&addrs);
+        let segs = prof.segments(0.5);
+        assert_eq!(segs.first().unwrap().start, 0);
+        assert_eq!(segs.last().unwrap().end, NYBBLES);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn ranked_values_sorted_by_frequency() {
+        let addrs = vec![a("::1"), a("::1"), a("::2")];
+        let prof = EntropyProfile::compute(&addrs);
+        let ranked = prof.ranked_values(31);
+        assert_eq!(ranked, vec![(1, 2), (2, 1)]);
+    }
+}

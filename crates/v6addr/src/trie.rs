@@ -1,0 +1,230 @@
+//! A binary (bit-level) trie over IPv6 prefixes with longest-prefix match.
+//!
+//! This is the routing-table substrate of the study: the simulated Internet
+//! maps addresses to Autonomous Systems via longest-prefix match over its
+//! allocation plan, exactly as the paper resolves discovered addresses to
+//! ASes via BGP data. It also backs blocklist and alias-list queries where
+//! "most specific covering entry" semantics are needed.
+
+use std::net::Ipv6Addr;
+
+use crate::prefix::Prefix;
+
+/// A node in the binary trie. Children are indexed by the next address bit.
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A prefix-keyed map supporting exact and longest-prefix-match lookups.
+///
+/// ```
+/// use v6addr::{Prefix, PrefixTrie};
+/// let trie: PrefixTrie<&str> = [
+///     ("2600::/12".parse::<Prefix>().unwrap(), "ARIN"),
+///     ("2600:1f00::/24".parse::<Prefix>().unwrap(), "aws"),
+/// ].into_iter().collect();
+/// let (prefix, value) = trie.lookup("2600:1f00::1".parse().unwrap()).unwrap();
+/// assert_eq!((*value, prefix.len()), ("aws", 24)); // most specific wins
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn bit(addr: u128, idx: u8) -> usize {
+    ((addr >> (127 - idx as u32)) & 1) as usize
+}
+
+impl<V> PrefixTrie<V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            root: Node::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `value` at `prefix`, returning the previous value if the exact
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let addr = u128::from(prefix.network());
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = bit(addr, i);
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Value stored at exactly `prefix`, if any.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        let addr = u128::from(prefix.network());
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            node = node.children[bit(addr, i)].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Longest-prefix match: the most specific stored prefix containing
+    /// `addr`, with its value.
+    pub fn lookup(&self, addr: Ipv6Addr) -> Option<(Prefix, &V)> {
+        let bits = u128::from(addr);
+        let mut node = &self.root;
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..128u8 {
+            match node.children[bit(bits, i)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| (Prefix::new(addr, len), v))
+    }
+
+    /// Shorthand for `lookup(addr)` returning just the value.
+    pub fn lookup_value(&self, addr: Ipv6Addr) -> Option<&V> {
+        self.lookup(addr).map(|(_, v)| v)
+    }
+
+    /// Iterate `(prefix, value)` pairs in lexicographic bit order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> {
+        let mut out = Vec::new();
+        Self::walk(&self.root, 0u128, 0, &mut out);
+        out.into_iter()
+    }
+
+    fn walk<'a>(node: &'a Node<V>, acc: u128, depth: u8, out: &mut Vec<(Prefix, &'a V)>) {
+        if let Some(v) = node.value.as_ref() {
+            out.push((Prefix::new(Ipv6Addr::from(acc), depth), v));
+        }
+        for (b, child) in node.children.iter().enumerate() {
+            if let Some(child) = child {
+                let acc = if depth < 128 {
+                    acc | ((b as u128) << (127 - depth as u32))
+                } else {
+                    acc
+                };
+                Self::walk(child, acc, depth + 1, out);
+            }
+        }
+    }
+}
+
+impl<V> FromIterator<(Prefix, V)> for PrefixTrie<V> {
+    fn from_iter<T: IntoIterator<Item = (Prefix, V)>>(iter: T) -> Self {
+        let mut trie = PrefixTrie::new();
+        for (p, v) in iter {
+            trie.insert(p, v);
+        }
+        trie
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_len() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("2001:db8::/32"), 1), None);
+        assert_eq!(t.insert(p("2001:db8::/32"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("2001:db8::/32")), Some(&2));
+        assert_eq!(t.get(&p("2001:db8::/33")), None);
+    }
+
+    #[test]
+    fn longest_prefix_match() {
+        let t: PrefixTrie<u32> = [
+            (p("2000::/3"), 3),
+            (p("2001:db8::/32"), 32),
+            (p("2001:db8:aaaa::/48"), 48),
+        ]
+        .into_iter()
+        .collect();
+
+        let (pre, v) = t.lookup(a("2001:db8:aaaa::1")).unwrap();
+        assert_eq!((*v, pre.len()), (48, 48));
+        let (pre, v) = t.lookup(a("2001:db8:bbbb::1")).unwrap();
+        assert_eq!((*v, pre.len()), (32, 32));
+        let (pre, v) = t.lookup(a("2400::1")).unwrap();
+        assert_eq!((*v, pre.len()), (3, 3));
+        assert!(t.lookup(a("fe80::1")).is_none());
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let t: PrefixTrie<&str> = [(p("::/0"), "default")].into_iter().collect();
+        assert_eq!(t.lookup_value(a("fe80::1")), Some(&"default"));
+        assert_eq!(t.lookup_value(a("::")), Some(&"default"));
+    }
+
+    #[test]
+    fn host_route() {
+        let t: PrefixTrie<u8> = [(p("2001:db8::1/128"), 9)].into_iter().collect();
+        assert_eq!(t.lookup_value(a("2001:db8::1")), Some(&9));
+        assert_eq!(t.lookup_value(a("2001:db8::2")), None);
+    }
+
+    #[test]
+    fn iter_returns_all() {
+        let entries = vec![
+            (p("2001:db8::/32"), 1),
+            (p("2001:db8:1::/48"), 2),
+            (p("2400::/12"), 3),
+        ];
+        let t: PrefixTrie<u32> = entries.clone().into_iter().collect();
+        let mut got: Vec<(Prefix, u32)> = t.iter().map(|(p, v)| (p, *v)).collect();
+        got.sort();
+        let mut want = entries;
+        want.sort();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the address substrate.
+
+use std::net::Ipv6Addr;
+
+use proptest::prelude::*;
+use v6addr::{nybble_of, rand_in_prefix, with_nybble, Nybbles, Prefix, PrefixSet, PrefixTrie};
+
+fn arb_addr() -> impl Strategy<Value = Ipv6Addr> {
+    any::<u128>().prop_map(Ipv6Addr::from)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| Prefix::new(Ipv6Addr::from(bits), len))
+}
+
+proptest! {
+    #[test]
+    fn nybbles_roundtrip(addr in arb_addr()) {
+        prop_assert_eq!(Nybbles::from_addr(addr).to_addr(), addr);
+    }
+
+    #[test]
+    fn nybble_of_agrees_with_array(addr in arb_addr(), idx in 0usize..32) {
+        prop_assert_eq!(nybble_of(addr, idx), Nybbles::from_addr(addr).get(idx));
+    }
+
+    #[test]
+    fn with_nybble_sets_only_that_position(addr in arb_addr(), idx in 0usize..32, v in 0u8..16) {
+        let out = with_nybble(addr, idx, v);
+        prop_assert_eq!(nybble_of(out, idx), v);
+        for i in 0..32 {
+            if i != idx {
+                prop_assert_eq!(nybble_of(out, i), nybble_of(addr, i));
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_is_symmetric_and_bounded(a in arb_addr(), b in arb_addr()) {
+        let (na, nb) = (Nybbles::from_addr(a), Nybbles::from_addr(b));
+        prop_assert_eq!(na.hamming(&nb), nb.hamming(&na));
+        prop_assert!(na.hamming(&nb) <= 32);
+        prop_assert_eq!(na.hamming(&na), 0);
+    }
+
+    #[test]
+    fn prefix_contains_its_network(p in arb_prefix()) {
+        prop_assert!(p.contains(p.network()));
+    }
+
+    #[test]
+    fn prefix_canonical_form_is_idempotent(p in arb_prefix()) {
+        prop_assert_eq!(Prefix::new(p.network(), p.len()), p);
+    }
+
+    #[test]
+    fn truncation_still_covers(p in arb_prefix(), cut in 0u8..=128) {
+        let cut = cut.min(p.len());
+        let t = p.truncate(cut);
+        prop_assert!(t.covers(&p));
+        prop_assert!(t.contains(p.network()));
+    }
+
+    #[test]
+    fn parse_display_roundtrip(p in arb_prefix()) {
+        let parsed: Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn rand_in_prefix_always_contained(p in arb_prefix(), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let addr = rand_in_prefix(&p, &mut rng);
+        prop_assert!(p.contains(addr));
+    }
+
+    #[test]
+    fn trie_lpm_returns_a_covering_prefix(
+        entries in proptest::collection::vec((arb_prefix(), any::<u32>()), 1..40),
+        probe in arb_addr(),
+    ) {
+        let trie: PrefixTrie<u32> = entries.clone().into_iter().collect();
+        if let Some((matched, _)) = trie.lookup(probe) {
+            prop_assert!(matched.contains(probe));
+            // and it is the longest such entry
+            let best = entries.iter().filter(|(p, _)| p.contains(probe)).map(|(p, _)| p.len()).max();
+            prop_assert_eq!(Some(matched.len()), best);
+        } else {
+            prop_assert!(entries.iter().all(|(p, _)| !p.contains(probe)));
+        }
+    }
+
+    #[test]
+    fn prefix_set_agrees_with_linear_scan(
+        prefixes in proptest::collection::vec(arb_prefix(), 0..30),
+        probe in arb_addr(),
+    ) {
+        let set: PrefixSet = prefixes.clone().into_iter().collect();
+        let linear = prefixes.iter().any(|p| p.contains(probe));
+        prop_assert_eq!(set.contains_addr(probe), linear);
+    }
+
+    #[test]
+    fn subprefixes_partition_parent(p in (any::<u128>(), 0u8..=124).prop_map(|(b, l)| Prefix::new(Ipv6Addr::from(b), l))) {
+        let sub_len = p.len() + 4;
+        // all 16 nybble-children cover disjoint space and sit inside parent
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..16u128 {
+            let s = p.subprefix(sub_len, i);
+            prop_assert!(p.covers(&s));
+            prop_assert!(seen.insert(s.network()));
+        }
+    }
+}

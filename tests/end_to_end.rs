@@ -1,0 +1,135 @@
+//! End-to-end integration: the full pipeline — world → collectors →
+//! preprocessing → TGA → scan → dealias → metrics → report — at tiny
+//! scale, across crates.
+
+use netmodel::{Protocol, PROTOCOLS};
+use sos_core::experiments::{self, grid::grid_over};
+use sos_core::study::DatasetKind;
+use sos_core::{run_tga, Study, StudyConfig};
+use tga::TgaId;
+
+fn study() -> Study {
+    Study::new(StudyConfig::tiny(0xE2E))
+}
+
+#[test]
+fn every_tga_completes_a_full_run_on_every_port() {
+    let study = study();
+    let seeds = study.dataset(DatasetKind::AllActive).to_vec();
+    for tga in TgaId::ALL {
+        for proto in PROTOCOLS {
+            let r = run_tga(&study, tga, &seeds, proto, 1500, 0xAB ^ tga as u64);
+            assert_eq!(r.tga, tga);
+            assert!(
+                r.metrics.generated >= 1400,
+                "{tga} on {proto}: generated {}",
+                r.metrics.generated
+            );
+            assert!(r.metrics.hits <= r.metrics.generated);
+            assert_eq!(r.metrics.hits, r.clean_hits.len());
+            assert_eq!(r.metrics.ases, r.ases.len());
+            // hits really respond, per ground truth
+            for &h in r.clean_hits.iter().take(20) {
+                assert!(
+                    study.world().truth_responds(h, proto),
+                    "{tga}/{proto}: {h} counted but dead"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hits_never_contain_aliases_or_megapattern_on_icmp() {
+    let study = study();
+    let seeds = study.dataset(DatasetKind::Full).to_vec(); // alias-rich input
+    for tga in [TgaId::SixTree, TgaId::SixHit] {
+        let r = run_tga(&study, tga, &seeds, Protocol::Icmp, 3000, 5);
+        for &h in &r.clean_hits {
+            assert!(!study.world().is_aliased(h), "{tga}: aliased {h} in hits");
+            if let Some(mega) = study.world().megapattern() {
+                assert_ne!(study.world().asn_of(h), Some(mega.asn), "{tga}: megapattern {h}");
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_views_render_without_panicking() {
+    let study = study();
+    let grid = grid_over(
+        &study,
+        &[
+            DatasetKind::Full,
+            DatasetKind::OfflineDealiased,
+            DatasetKind::OnlineDealiased,
+            DatasetKind::JointDealiased,
+            DatasetKind::AllActive,
+            DatasetKind::PortSpecific(Protocol::Icmp),
+            DatasetKind::PortSpecific(Protocol::Tcp80),
+            DatasetKind::PortSpecific(Protocol::Tcp443),
+            DatasetKind::PortSpecific(Protocol::Udp53),
+        ],
+        &[Protocol::Icmp, Protocol::Tcp80],
+        &[TgaId::SixTree, TgaId::SixGen, TgaId::SixSense],
+    );
+    assert_eq!(grid.len(), 9 * 2 * 3);
+    let fig3 = experiments::rq1::fig3_dealias_ratio(&grid);
+    assert_eq!(fig3.rows.len(), 6);
+    assert!(fig3.render().contains("Figure 3"));
+    let t4 = experiments::rq1::table4_alias_regimes(&grid);
+    assert_eq!(t4.rows.len(), 3);
+    assert!(experiments::rq1::raw_numbers_table(&grid, Protocol::Icmp).contains("Table 9"));
+    let fig5 = experiments::rq2::port_specific_ratios(&grid);
+    assert_eq!(fig5.rows.len(), 6);
+    let matrix = experiments::appendix_d::cross_port_matrix(&grid);
+    assert!(!matrix.cells.is_empty());
+    let recs = experiments::recommend::recommendations(&grid);
+    assert_eq!(recs.len(), 6);
+}
+
+#[test]
+fn dataset_summary_and_overlap_are_consistent() {
+    let study = study();
+    let summary = experiments::summary::dataset_summary(&study);
+    let overlap = experiments::summary::overlap_full(&study);
+    // the same sources in the same order
+    assert_eq!(summary.rows.len(), overlap.labels.len());
+    for (row, (label, count)) in summary
+        .rows
+        .iter()
+        .zip(overlap.labels.iter().zip(overlap.ip_counts.iter()))
+    {
+        assert_eq!(row.id, *label);
+        assert_eq!(row.unique, *count, "{}", row.id);
+    }
+}
+
+#[test]
+fn rq3_runs_one_source_grid_and_characterizes_ases() {
+    let study = study();
+    let rq3 = experiments::rq3::run_rq3(&study, &[Protocol::Icmp], &[TgaId::SixGen]);
+    assert_eq!(rq3.len(), 12);
+    let (combined_hits, _) = rq3.combined(Protocol::Icmp, TgaId::SixGen);
+    assert!(combined_hits > 0);
+    let chars = experiments::rq3::as_characterization(&study, &rq3);
+    assert!(!chars.is_empty());
+    // top shares are ordered descending
+    for c in &chars {
+        for w in c.top.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+    }
+}
+
+#[test]
+fn scanner_packets_are_accounted_end_to_end() {
+    let study = study();
+    let seeds = study.dataset(DatasetKind::AllActive).to_vec();
+    let offline = run_tga(&study, TgaId::SixGraph, &seeds, Protocol::Icmp, 1000, 9);
+    // at minimum: 1 packet per generated target during evaluation
+    assert!(offline.metrics.probe_packets >= offline.metrics.generated as u64);
+    let online = run_tga(&study, TgaId::SixScan, &seeds, Protocol::Icmp, 1000, 9);
+    // online generators additionally probe during generation
+    assert!(online.metrics.probe_packets > offline.metrics.probe_packets);
+}

@@ -1,0 +1,189 @@
+//! Shape tests: the paper's qualitative findings must hold in this
+//! reproduction. Absolute counts are scale-dependent; these tests pin the
+//! *directions* — who improves under which treatment, which sources give
+//! AS breadth, which responses never count as hits.
+
+use netmodel::{Protocol, PROTOCOLS};
+use seeds::SourceId;
+use sos_core::experiments::{self, grid::grid_over};
+use sos_core::metrics::performance_ratio;
+use sos_core::study::DatasetKind;
+use sos_core::{Study, StudyConfig};
+use std::sync::OnceLock;
+use tga::TgaId;
+
+/// One shared study: building worlds repeatedly would dominate test time.
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::new(StudyConfig::tiny(0x5aa9e5)))
+}
+
+#[test]
+fn table3_shape_icmp_dominates_every_source() {
+    let s = experiments::summary::dataset_summary(study());
+    for row in &s.rows {
+        assert!(
+            row.active_per_port[0] >= row.active_per_port[1],
+            "{}: ICMP {} < TCP80 {}",
+            row.id,
+            row.active_per_port[0],
+            row.active_per_port[1]
+        );
+        assert!(row.active_per_port[0] >= row.active_per_port[3]);
+    }
+}
+
+#[test]
+fn table3_shape_traceroute_sources_lead_as_coverage() {
+    let s = experiments::summary::dataset_summary(study());
+    let ases = |id: SourceId| s.rows.iter().find(|r| r.id == id).unwrap().ases;
+    let traceroute_best = ases(SourceId::Scamper).max(ases(SourceId::RipeAtlas));
+    for id in [SourceId::Umbrella, SourceId::Tranco, SourceId::SecRank, SourceId::Majestic] {
+        assert!(
+            traceroute_best > 2 * ases(id),
+            "traceroute {} should dwarf toplist {} ({})",
+            traceroute_best,
+            id,
+            ases(id)
+        );
+    }
+}
+
+#[test]
+fn table3_shape_hitlist_is_most_responsive_large_source() {
+    let s = experiments::summary::dataset_summary(study());
+    let rate = |id: SourceId| {
+        let r = s.rows.iter().find(|r| r.id == id).unwrap();
+        r.active as f64 / r.dealiased.max(1) as f64
+    };
+    assert!(rate(SourceId::Hitlist) > rate(SourceId::Scamper));
+    assert!(rate(SourceId::Hitlist) > rate(SourceId::CensysCt));
+    // stale tail: not everything in the hitlist still answers (§6.2, 84%)
+    assert!(rate(SourceId::Hitlist) < 0.99);
+}
+
+/// The RQ1/RQ2 grid used by the shape tests below (computed once).
+fn shape_grid() -> &'static experiments::Grid {
+    static GRID: OnceLock<experiments::Grid> = OnceLock::new();
+    GRID.get_or_init(|| {
+        grid_over(
+            study(),
+            &[
+                DatasetKind::Full,
+                DatasetKind::OfflineDealiased,
+                DatasetKind::OnlineDealiased,
+                DatasetKind::JointDealiased,
+                DatasetKind::AllActive,
+                DatasetKind::PortSpecific(Protocol::Icmp),
+                DatasetKind::PortSpecific(Protocol::Tcp80),
+                DatasetKind::PortSpecific(Protocol::Tcp443),
+                DatasetKind::PortSpecific(Protocol::Udp53),
+            ],
+            &PROTOCOLS,
+            &[TgaId::SixTree, TgaId::SixGraph, TgaId::SixSense, TgaId::SixHit],
+        )
+    })
+}
+
+#[test]
+fn rq1a_dealiasing_collapses_generated_aliases() {
+    let grid = shape_grid();
+    for tga in [TgaId::SixTree, TgaId::SixGraph, TgaId::SixHit] {
+        let full = grid.get(DatasetKind::Full, Protocol::Icmp, tga).metrics;
+        let joint = grid.get(DatasetKind::JointDealiased, Protocol::Icmp, tga).metrics;
+        assert!(
+            (joint.aliases as f64) < 0.5 * full.aliases.max(1) as f64,
+            "{tga}: aliases {} -> {}",
+            full.aliases,
+            joint.aliases
+        );
+    }
+}
+
+#[test]
+fn rq1a_dealiased_seeds_do_not_hurt_hits_on_average() {
+    let grid = shape_grid();
+    let fig3 = experiments::rq1::fig3_dealias_ratio(grid);
+    assert!(
+        fig3.mean_hits_ratio() > 0.0,
+        "mean hits ratio {}",
+        fig3.mean_hits_ratio()
+    );
+}
+
+#[test]
+fn rq1b_active_only_seeds_do_not_hurt_on_average() {
+    let grid = shape_grid();
+    let fig4 = experiments::rq1::fig4_active_ratio(grid);
+    assert!(
+        fig4.mean_hits_ratio() > -0.05,
+        "mean hits ratio {}",
+        fig4.mean_hits_ratio()
+    );
+}
+
+#[test]
+fn rq2_icmp_barely_moves_with_port_specific_seeds() {
+    // "ICMP shows the least difference of all datasets" — the ICMP
+    // dataset is nearly the whole All-Active dataset.
+    let grid = shape_grid();
+    let fig5 = experiments::rq2::port_specific_ratios(grid);
+    let per = experiments::rq2::mean_hits_ratio_per_protocol(&fig5);
+    let icmp = per.iter().find(|(p, _)| *p == Protocol::Icmp).unwrap().1;
+    assert!(icmp.abs() < 0.5, "ICMP mean ratio {icmp}");
+}
+
+#[test]
+fn rq4_combination_curves_are_monotone_and_leaders_differ_from_tails() {
+    let grid = shape_grid();
+    let hits = experiments::rq4::combination_hits(grid, Protocol::Icmp);
+    assert!(!hits.order.is_empty());
+    for w in hits.order.windows(2) {
+        assert!(w[0].1 >= w[1].1, "greedy marginals must not increase");
+    }
+    // the first generator contributes strictly more than the last
+    let first = hits.order.first().unwrap().1;
+    let last = hits.order.last().unwrap().1;
+    assert!(first > last, "first {first} vs last {last}");
+}
+
+#[test]
+fn appendix_d_each_tcp_port_is_best_served_by_its_own_dataset() {
+    let grid = shape_grid();
+    let matrix = experiments::appendix_d::cross_port_matrix(grid);
+    for proto in [Protocol::Tcp80, Protocol::Tcp443] {
+        let matched = matrix.total(DatasetKind::PortSpecific(proto), proto);
+        let from_udp = matrix.total(DatasetKind::PortSpecific(Protocol::Udp53), proto);
+        assert!(
+            matched > from_udp,
+            "{proto}: matched {matched} vs udp-seeded {from_udp}"
+        );
+    }
+}
+
+#[test]
+fn performance_ratio_edge_semantics_match_the_paper() {
+    // "if a change does not vary generator performance ... 0; doubles ->
+    // 1.0; halves -> -1.0" (§4.1, with the worked examples fixing the
+    // constant at 1).
+    assert_eq!(performance_ratio(10.0, 10.0), 0.0);
+    assert_eq!(performance_ratio(20.0, 10.0), 1.0);
+    assert_eq!(performance_ratio(0.0, 10.0), -1.0);
+}
+
+#[test]
+fn megapattern_is_heavily_responsive_but_filtered_from_icmp_metrics() {
+    let s = study();
+    let mega = s.world().megapattern().expect("enabled");
+    // ~35% of pattern addresses answer (§4.1 measured 35.03%)
+    let n = mega.population().min(4096);
+    let live = (0..n)
+        .filter(|&i| mega.responds(s.world().config().seed, mega.address(i)))
+        .count();
+    let rate = live as f64 / n as f64;
+    assert!((rate - 0.35).abs() < 0.05, "rate {rate}");
+    // and scanning them yields zero ICMP hits after the AS filter
+    let targets: Vec<_> = (0..n).map(|i| mega.address(i)).collect();
+    let out = s.evaluate(&targets, Protocol::Icmp, 0x52);
+    assert_eq!(out.metrics.hits, 0);
+}

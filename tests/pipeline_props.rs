@@ -1,0 +1,126 @@
+//! Property-based invariants over randomized study seeds: whatever
+//! Internet we synthesize, the pipeline's structural guarantees must hold.
+
+use netmodel::{Protocol, World, WorldConfig, PROTOCOLS};
+use proptest::prelude::*;
+use sos_core::study::DatasetKind;
+use sos_core::{run_tga, Study, StudyConfig};
+use tga::{GenConfig, TgaId};
+
+/// Worlds are expensive; keep proptest case counts low but meaningful.
+fn cases(n: u32) -> ProptestConfig {
+    ProptestConfig {
+        cases: n,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(4))]
+
+    #[test]
+    fn world_invariants(seed in 0u64..1_000_000) {
+        let w = World::build(WorldConfig::tiny(seed));
+        let stats = w.stats();
+        // populations are consistent
+        prop_assert!(stats.responsive_any <= stats.modeled_hosts);
+        prop_assert!(stats.churned_hosts <= stats.modeled_hosts);
+        for p in PROTOCOLS {
+            prop_assert!(stats.responsive[p.index()] <= stats.modeled_hosts);
+        }
+        // ICMP is the top responder (the Internet-wide IPv6 signature)
+        prop_assert!(stats.responsive[0] >= stats.responsive[1]);
+        prop_assert!(stats.responsive[0] >= stats.responsive[3]);
+        // the published alias list is a strict subset of true aliases
+        let published = w.published_alias_list();
+        prop_assert!(published.len() < w.alias_regions().len());
+        for region in w.alias_regions() {
+            if region.published {
+                prop_assert!(published.contains_addr(region.prefix.network()));
+            }
+        }
+    }
+
+    #[test]
+    fn truth_and_probe_agree_modulo_loss(seed in 0u64..1_000_000) {
+        let w = World::build(WorldConfig::tiny(seed));
+        let mut checked = 0;
+        for (addr, _) in w.hosts().iter().step_by(97) {
+            for proto in PROTOCOLS {
+                let truth = w.truth_responds(addr, proto);
+                // with many attempts, a true responder must answer at
+                // least once and a non-responder must never answer
+                let answered = (0..12).any(|i| w.probe(addr, proto, i).is_hit());
+                prop_assert_eq!(truth, answered, "{} on {}", addr, proto.label());
+            }
+            checked += 1;
+            if checked > 60 {
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(3))]
+
+    #[test]
+    fn study_dataset_family_is_monotone(seed in 0u64..100_000) {
+        let study = Study::new(StudyConfig::tiny(seed));
+        let full = study.dataset(DatasetKind::Full).len();
+        let offline = study.dataset(DatasetKind::OfflineDealiased).len();
+        let joint = study.dataset(DatasetKind::JointDealiased).len();
+        let active = study.dataset(DatasetKind::AllActive).len();
+        prop_assert!(offline <= full);
+        prop_assert!(joint <= offline);
+        prop_assert!(active <= joint);
+        for p in PROTOCOLS {
+            prop_assert!(study.dataset(DatasetKind::PortSpecific(p)).len() <= active);
+        }
+        // all datasets are sorted & deduplicated
+        for kind in [DatasetKind::Full, DatasetKind::AllActive] {
+            let ds = study.dataset(kind);
+            prop_assert!(ds.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn generators_always_fill_budget_with_unique_addresses(
+        seed in 0u64..100_000,
+        tga_idx in 0usize..8,
+        budget in 500usize..2500,
+    ) {
+        let study = Study::new(StudyConfig::tiny(seed));
+        let seeds = study.dataset(DatasetKind::AllActive).to_vec();
+        let tga_id = TgaId::ALL[tga_idx];
+        let mut generator = tga::build(tga_id);
+        let mut oracle = study.scanner(seed ^ 0xfeed);
+        let out = generator.generate(
+            &seeds,
+            &GenConfig::new(budget, seed, Protocol::Icmp),
+            &mut oracle,
+        );
+        prop_assert_eq!(out.len(), budget, "{} must fill its budget", tga_id);
+        let mut uniq: Vec<u128> = out.iter().map(|&a| u128::from(a)).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), budget, "{} emitted duplicates", tga_id);
+    }
+
+    #[test]
+    fn run_metrics_are_internally_consistent(seed in 0u64..100_000, tga_idx in 0usize..8) {
+        let study = Study::new(StudyConfig::tiny(seed));
+        let seeds = study.dataset(DatasetKind::AllActive).to_vec();
+        let r = run_tga(&study, TgaId::ALL[tga_idx], &seeds, Protocol::Tcp443, 1200, seed);
+        prop_assert!(r.metrics.hits <= r.metrics.generated);
+        prop_assert!(r.metrics.ases <= r.metrics.hits.max(1));
+        prop_assert_eq!(r.metrics.hits, r.clean_hits.len());
+        prop_assert!(r.metrics.probe_packets >= r.metrics.generated as u64);
+        // no hit is aliased, and every sampled hit truly responds
+        for &h in r.clean_hits.iter().take(25) {
+            prop_assert!(!study.world().is_aliased(h));
+            prop_assert!(study.world().truth_responds(h, Protocol::Tcp443));
+        }
+    }
+}
