@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! seedscan <experiment> [--scale tiny|small|study] [--seed N] [--budget N]
+//!          [--threads N] [--manifest FILE]
 //!
 //! experiments:
 //!   summary      Table 3 + Table 8 (dataset composition)
@@ -18,17 +19,28 @@
 //!   export       write grid + figure CSVs to ./export/
 //!   all          everything above
 //! ```
+//!
+//! Observability: progress and milestones go to stderr at the level
+//! selected by `SOS_LOG` (default `info` here; `debug` adds span-level
+//! phase timing). `--manifest FILE` writes a JSON run manifest with the
+//! full configuration, per-phase timings, engine counters, parallelism
+//! stats, and FNV-1a digests of every rendered result — two runs of the
+//! same configuration produce identical digests.
 
+use std::cell::RefCell;
 use std::process::ExitCode;
 
 use sos_core::experiments::{self, master_grid};
 use sos_core::{Study, StudyConfig};
+use sos_obs::manifest::Manifest;
 
 struct Args {
     experiment: String,
     scale: String,
     seed: u64,
     budget: Option<usize>,
+    threads: Option<usize>,
+    manifest: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
         scale: "small".to_string(),
         seed: 0xC0FFEE,
         budget: None,
+        threads: None,
+        manifest: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -57,6 +71,15 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad budget: {e}"))?,
                 )
             }
+            "--threads" => {
+                args.threads = Some(
+                    it.next()
+                        .ok_or("--threads needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad thread count: {e}"))?,
+                )
+            }
+            "--manifest" => args.manifest = Some(it.next().ok_or("--manifest needs a value")?),
             "--help" | "-h" => return Err(String::new()),
             other if args.experiment.is_empty() => args.experiment = other.to_string(),
             other => return Err(format!("unexpected argument: {other}")),
@@ -71,11 +94,14 @@ fn parse_args() -> Result<Args, String> {
 fn usage() {
     eprintln!(
         "usage: seedscan <experiment> [--scale tiny|small|study] [--seed N] [--budget N]\n\
-         experiments: summary overlap rq1 rq2 rq3 rq4 appendix-d raw recommend as-kind budget-sweep export all"
+         \u{20}                [--threads N] [--manifest FILE]\n\
+         experiments: summary overlap rq1 rq2 rq3 rq4 appendix-d raw recommend as-kind budget-sweep export all\n\
+         env: SOS_LOG=off|error|warn|info|debug|trace (stderr verbosity, default info)"
     );
 }
 
 fn main() -> ExitCode {
+    sos_obs::log::init_from_env_or(sos_obs::Level::Info);
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -99,20 +125,47 @@ fn main() -> ExitCode {
     if let Some(b) = args.budget {
         cfg.budget = b;
     }
+    cfg.threads = args.threads;
 
-    eprintln!(
-        "[seedscan] building study: scale={} seed={:#x} budget={}",
-        args.scale, args.seed, cfg.budget
+    let manifest = RefCell::new(Manifest::new("seedscan"));
+    {
+        let mut m = manifest.borrow_mut();
+        m.set("experiment", args.experiment.as_str());
+        m.config("scale", args.scale.as_str());
+        m.config("seed", args.seed);
+        m.config("budget", cfg.budget);
+        m.config("threads", cfg.effective_threads());
+        m.config("scan_retries", cfg.scan_retries);
+        m.config("gen_seed", cfg.gen_seed);
+    }
+    // Print a rendered result and record its digest for the manifest.
+    let emit = |name: &str, text: String| {
+        manifest.borrow_mut().record_digest(name, &text);
+        println!("{text}");
+    };
+
+    sos_obs::info!(
+        "seedscan: building study, scale={} seed={:#x} budget={} threads={}",
+        args.scale,
+        args.seed,
+        cfg.budget,
+        cfg.effective_threads(),
     );
     let t0 = std::time::Instant::now();
     let study = Study::new(cfg);
-    eprintln!(
-        "[seedscan] study ready in {:.1?}: {} modeled hosts, {} responsive, {} seeds collected",
+    sos_obs::info!(
+        "study ready in {:.1?}: {} modeled hosts, {} responsive, {} seeds collected",
         t0.elapsed(),
         study.world().stats().modeled_hosts,
         study.world().stats().responsive_any,
         study.pipeline().full.len()
     );
+    {
+        let mut m = manifest.borrow_mut();
+        m.config("modeled_hosts", study.world().stats().modeled_hosts);
+        m.config("responsive_any", study.world().stats().responsive_any);
+        m.config("seeds_collected", study.pipeline().full.len());
+    }
 
     let needs_grid = matches!(
         args.experiment.as_str(),
@@ -121,7 +174,7 @@ fn main() -> ExitCode {
     let grid = if needs_grid {
         let t = std::time::Instant::now();
         let g = master_grid(&study);
-        eprintln!("[seedscan] master grid ({} cells) in {:.1?}", g.len(), t.elapsed());
+        sos_obs::info!("master grid ({} cells) in {:.1?}", g.len(), t.elapsed());
         Some(g)
     } else {
         None
@@ -132,57 +185,72 @@ fn main() -> ExitCode {
     };
 
     if run("summary") {
-        println!("{}", experiments::summary::dataset_summary(&study).render());
-        println!("{}", experiments::summary::domain_volume(&study).render());
+        emit("summary.datasets", experiments::summary::dataset_summary(&study).render());
+        emit("summary.domains", experiments::summary::domain_volume(&study).render());
     }
     if run("overlap") {
         let full = experiments::summary::overlap_full(&study);
-        println!("{}", experiments::summary::render_overlap(&full, "Figure 1 — seed overlap (IP %)"));
+        emit(
+            "overlap.full",
+            experiments::summary::render_overlap(&full, "Figure 1 — seed overlap (IP %)"),
+        );
         let active = experiments::summary::overlap_active(&study);
-        println!(
-            "{}",
-            experiments::summary::render_overlap(&active, "Figure 2 — responsive seed overlap (IP %)")
+        emit(
+            "overlap.active",
+            experiments::summary::render_overlap(&active, "Figure 2 — responsive seed overlap (IP %)"),
         );
     }
     if let Some(grid) = grid.as_ref() {
         if run("rq1") {
-            println!("{}", experiments::rq1::fig3_dealias_ratio(grid).render());
-            println!("{}", experiments::rq1::table4_alias_regimes(grid).render());
-            println!("{}", experiments::rq1::fig4_active_ratio(grid).render());
+            emit("rq1.fig3", experiments::rq1::fig3_dealias_ratio(grid).render());
+            emit("rq1.table4", experiments::rq1::table4_alias_regimes(grid).render());
+            emit("rq1.fig4", experiments::rq1::fig4_active_ratio(grid).render());
         }
         if run("rq2") {
-            println!("{}", experiments::rq2::port_specific_ratios(grid).render());
+            emit("rq2.fig5", experiments::rq2::port_specific_ratios(grid).render());
         }
         if run("rq4") {
             for proto in netmodel::PROTOCOLS {
                 let hits = experiments::rq4::combination_hits(grid, proto);
-                println!("{}", experiments::rq4::render_contribution(&hits, "hit"));
+                emit(
+                    &format!("rq4.hits.{}", proto.label()),
+                    experiments::rq4::render_contribution(&hits, "hit"),
+                );
                 let ases = experiments::rq4::combination_ases(grid, proto);
-                println!("{}", experiments::rq4::render_contribution(&ases, "AS"));
+                emit(
+                    &format!("rq4.ases.{}", proto.label()),
+                    experiments::rq4::render_contribution(&ases, "AS"),
+                );
             }
         }
         if run("appendix-d") {
             let m = experiments::appendix_d::cross_port_matrix(grid);
             for proto in netmodel::PROTOCOLS {
-                println!("{}", m.render_panel(proto));
+                emit(&format!("appendix_d.{}", proto.label()), m.render_panel(proto));
             }
         }
         if run("raw") {
             for proto in netmodel::PROTOCOLS {
-                println!("{}", experiments::rq1::raw_numbers_table(grid, proto));
+                emit(
+                    &format!("raw.{}", proto.label()),
+                    experiments::rq1::raw_numbers_table(grid, proto),
+                );
             }
         }
         if run("recommend") {
             let recs = experiments::recommend::recommendations(grid);
-            println!("{}", experiments::recommend::render(&recs));
+            emit("recommend", experiments::recommend::render(&recs));
         }
         if run("export") {
             std::fs::create_dir_all("export").expect("create export dir");
             let write = |name: &str, f: &dyn Fn(&mut Vec<u8>) -> std::io::Result<()>| {
                 let mut buf = Vec::new();
                 f(&mut buf).expect("serialize");
+                manifest
+                    .borrow_mut()
+                    .record_digest(&format!("export.{name}"), &String::from_utf8_lossy(&buf));
                 std::fs::write(format!("export/{name}"), buf).expect("write csv");
-                eprintln!("[seedscan] wrote export/{name}");
+                sos_obs::info!("wrote export/{name}");
             };
             write("grid.csv", &|w| sos_core::export::write_grid_csv(w, grid));
             let fig3 = experiments::rq1::fig3_dealias_ratio(grid);
@@ -204,30 +272,42 @@ fn main() -> ExitCode {
         let ladder = experiments::budget::default_ladder(&study);
         let curves =
             experiments::budget::budget_sweep(&study, &tga::TgaId::ALL, &ladder, netmodel::Protocol::Icmp);
-        eprintln!("[seedscan] budget sweep in {:.1?}", t.elapsed());
-        println!("{}", experiments::budget::render(&curves, netmodel::Protocol::Icmp));
+        sos_obs::info!("budget sweep in {:.1?}", t.elapsed());
+        emit("budget_sweep", experiments::budget::render(&curves, netmodel::Protocol::Icmp));
         let rows: Vec<(String, f64)> = curves
             .iter()
             .map(|c| (c.tga.label().to_string(), c.tail_efficiency()))
             .collect();
-        println!("{}", sos_core::chart::bar_chart("Tail efficiency (marginal hits per candidate)", &rows, 50));
+        emit(
+            "budget_sweep.tail",
+            sos_core::chart::bar_chart("Tail efficiency (marginal hits per candidate)", &rows, 50),
+        );
     }
     if run("as-kind") {
         let t = std::time::Instant::now();
         let r = experiments::as_kind::run_by_kind(&study, &tga::TgaId::ALL);
-        eprintln!("[seedscan] as-kind in {:.1?}", t.elapsed());
-        println!("{}", r.render(&study));
+        sos_obs::info!("as-kind in {:.1?}", t.elapsed());
+        emit("as_kind", r.render(&study));
     }
     if run("rq3") {
         let t = std::time::Instant::now();
         let r = experiments::rq3::run_rq3(&study, &[netmodel::Protocol::Icmp], &tga::TgaId::ALL);
-        eprintln!("[seedscan] rq3 ({} cells) in {:.1?}", r.len(), t.elapsed());
-        println!("{}", experiments::rq3::render_table5(&r));
-        println!("{}", experiments::rq3::render_source_raw(&r, netmodel::Protocol::Icmp));
+        sos_obs::info!("rq3 ({} cells) in {:.1?}", r.len(), t.elapsed());
+        emit("rq3.table5", experiments::rq3::render_table5(&r));
+        emit("rq3.source_raw", experiments::rq3::render_source_raw(&r, netmodel::Protocol::Icmp));
         let chars = experiments::rq3::as_characterization(&study, &r);
-        println!("{}", experiments::rq3::render_table6(&chars));
+        emit("rq3.table6", experiments::rq3::render_table6(&chars));
     }
 
-    eprintln!("[seedscan] done in {:.1?}", t0.elapsed());
+    sos_obs::info!("done in {:.1?}", t0.elapsed());
+    if let Some(path) = args.manifest.as_deref() {
+        match manifest.into_inner().write_to_file(std::path::Path::new(path)) {
+            Ok(()) => sos_obs::info!("wrote manifest {path}"),
+            Err(e) => {
+                eprintln!("error: writing manifest {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

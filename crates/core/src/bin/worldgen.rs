@@ -6,18 +6,26 @@
 //!
 //! ```text
 //! worldgen [--scale tiny|small|study] [--seed N] [--dump-dir DIR]
+//!          [--manifest FILE]
 //! ```
+//!
+//! `--manifest FILE` writes a JSON run manifest (configuration, world
+//! statistics, phase timings, digests of the dumped ground-truth lists);
+//! `SOS_LOG` controls stderr verbosity exactly as in `seedscan`.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use netmodel::{AsKind, HostKind, Protocol, World, WorldConfig, PROTOCOLS};
 use sos_core::report::{fmt_count, fmt_pct, Table};
+use sos_obs::manifest::Manifest;
 
 fn main() -> ExitCode {
+    sos_obs::log::init_from_env_or(sos_obs::Level::Info);
     let mut scale = "small".to_string();
     let mut seed: u64 = 0xC0FFEE;
     let mut dump_dir: Option<String> = None;
+    let mut manifest_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -32,8 +40,11 @@ fn main() -> ExitCode {
                 }
             }
             "--dump-dir" => dump_dir = it.next(),
+            "--manifest" => manifest_path = it.next(),
             other => {
-                eprintln!("usage: worldgen [--scale tiny|small|study] [--seed N] [--dump-dir DIR]");
+                eprintln!(
+                    "usage: worldgen [--scale tiny|small|study] [--seed N] [--dump-dir DIR] [--manifest FILE]"
+                );
                 eprintln!("unexpected argument: {other}");
                 return ExitCode::FAILURE;
             }
@@ -49,11 +60,22 @@ fn main() -> ExitCode {
         }
     };
 
+    let mut manifest = Manifest::new("worldgen");
+    manifest.config("scale", scale.as_str());
+    manifest.config("seed", seed);
+
     let t0 = std::time::Instant::now();
-    let world = World::build(cfg);
-    eprintln!("[worldgen] built in {:.1?}", t0.elapsed());
+    let world = {
+        let _span = sos_obs::span_detail("world_build", format!("scale={scale}"));
+        World::build(cfg)
+    };
+    sos_obs::info!("worldgen: built in {:.1?}", t0.elapsed());
 
     let stats = world.stats();
+    manifest.config("modeled_hosts", stats.modeled_hosts);
+    manifest.config("responsive_any", stats.responsive_any);
+    manifest.config("responsive_ases", stats.responsive_ases);
+    manifest.config("alias_regions", world.alias_regions().len());
     println!("seed {seed:#x}, scale {scale}");
     println!(
         "{} modeled addresses ({} churned), {} responsive in {} ASes",
@@ -84,13 +106,17 @@ fn main() -> ExitCode {
     for (k, (ases, hosts)) in &by_kind {
         t.row([k.to_string(), fmt_count(*ases), fmt_count(*hosts)]);
     }
-    println!("{}", t.render());
+    let rendered = t.render();
+    manifest.record_digest("as_composition", &rendered);
+    println!("{rendered}");
 
     let mut t = Table::new("Host roles").header(["Role", "Count"]);
     for (r, n) in &by_role {
         t.row([r.to_string(), fmt_count(*n)]);
     }
-    println!("{}", t.render());
+    let rendered = t.render();
+    manifest.record_digest("host_roles", &rendered);
+    println!("{rendered}");
 
     let published = world.alias_regions().iter().filter(|r| r.published).count();
     let lossy = world.alias_regions().iter().filter(|r| r.loss > 0.0).count();
@@ -112,17 +138,20 @@ fn main() -> ExitCode {
     }
 
     if let Some(dir) = dump_dir {
+        let _span = sos_obs::span("dump");
         std::fs::create_dir_all(&dir).expect("create dump dir");
         // ground-truth alias list (the full one, not just published)
         let alias_path = format!("{dir}/aliased-prefixes.txt");
-        let f = std::fs::File::create(&alias_path).expect("create alias list");
+        let mut buf = Vec::new();
         seeds::io::write_prefix_list(
-            std::io::BufWriter::new(f),
+            &mut buf,
             world.alias_regions().iter().map(|r| r.prefix),
             &format!("ground-truth aliased prefixes, world seed {seed:#x}"),
         )
         .expect("write alias list");
-        eprintln!("[worldgen] wrote {alias_path}");
+        manifest.record_digest("aliased_prefixes", &String::from_utf8_lossy(&buf));
+        std::fs::write(&alias_path, buf).expect("write alias list");
+        sos_obs::info!("wrote {alias_path}");
 
         // responsive ICMP addresses (ground truth)
         let addrs: Vec<_> = world
@@ -132,14 +161,25 @@ fn main() -> ExitCode {
             .map(|(a, _)| a)
             .collect();
         let hitlist_path = format!("{dir}/icmp-responsive.txt");
-        let f = std::fs::File::create(&hitlist_path).expect("create hitlist");
+        let mut buf = Vec::new();
         seeds::io::write_address_list(
-            std::io::BufWriter::new(f),
+            &mut buf,
             &addrs,
             &format!("ground-truth ICMP responders, world seed {seed:#x}"),
         )
         .expect("write hitlist");
-        eprintln!("[worldgen] wrote {hitlist_path}");
+        manifest.record_digest("icmp_responsive", &String::from_utf8_lossy(&buf));
+        std::fs::write(&hitlist_path, buf).expect("write hitlist");
+        sos_obs::info!("wrote {hitlist_path}");
+    }
+    if let Some(path) = manifest_path {
+        match manifest.write_to_file(std::path::Path::new(&path)) {
+            Ok(()) => sos_obs::info!("wrote manifest {path}"),
+            Err(e) => {
+                eprintln!("error: writing manifest {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -20,6 +20,9 @@ pub struct StudyConfig {
     pub scan_retries: u32,
     /// Run independent (tga × port) experiment cells on worker threads.
     pub parallel: bool,
+    /// Explicit worker-thread count for experiment grids (`--threads`).
+    /// `None` picks [`crate::par::default_threads`] when `parallel`, else 1.
+    pub threads: Option<usize>,
 }
 
 impl StudyConfig {
@@ -34,6 +37,20 @@ impl StudyConfig {
             gen_seed: seed ^ 0x9e4,
             scan_retries: 1,
             parallel: true,
+            threads: None,
+        }
+    }
+
+    /// Worker threads experiment grids should use: an explicit `threads`
+    /// always wins; otherwise `parallel` selects between the default
+    /// worker count and sequential execution. Cell results never depend
+    /// on the thread count (each cell owns its RNG and scanner), so this
+    /// only affects wall-clock time.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            Some(n) => n.max(1),
+            None if self.parallel => crate::par::default_threads(),
+            None => 1,
         }
     }
 
@@ -74,6 +91,18 @@ mod tests {
         let f = StudyConfig::study(1);
         assert!(t.budget < s.budget && s.budget < f.budget);
         assert!(t.world.num_ases < f.world.num_ases);
+    }
+
+    #[test]
+    fn effective_threads_resolution() {
+        let mut c = StudyConfig::tiny(1);
+        assert_eq!(c.effective_threads(), 1, "tiny is sequential by default");
+        c.threads = Some(3);
+        assert_eq!(c.effective_threads(), 3, "explicit threads override");
+        c.threads = Some(0);
+        assert_eq!(c.effective_threads(), 1, "zero clamps to one worker");
+        let f = StudyConfig::study(1);
+        assert_eq!(f.effective_threads(), crate::par::default_threads());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::net::Ipv6Addr;
 use netmodel::{AsKind, Protocol};
 use tga::TgaId;
 
-use crate::par::{default_threads, par_map};
+use crate::par::par_map_stats;
 use crate::report::{fmt_count, Table};
 use crate::runner::{cell_salt, run_tga, RunResult};
 use crate::study::{DatasetKind, Study};
@@ -79,18 +79,15 @@ pub fn run_by_kind(study: &Study, tgas: &[TgaId]) -> KindResults {
             work.push((k, t));
         }
     }
-    let threads = if study.config().parallel {
-        default_threads()
-    } else {
-        1
-    };
+    let threads = study.config().effective_threads();
     let budget = study.config().budget;
-    let cells: BTreeMap<(&'static str, TgaId), RunResult> = par_map(work, threads, |(kind, tga)| {
+    let cells: BTreeMap<(&'static str, TgaId), RunResult> = par_map_stats(work, threads, "as_kind", |(kind, tga)| {
         let seeds = &slices[kind];
         let salt = cell_salt(0xa5d0, tga, Protocol::Icmp, kind.len() as u64);
         let r = run_tga(study, tga, seeds, Protocol::Icmp, budget, salt);
         ((kind, tga), r)
     })
+    .0
     .into_iter()
     .collect();
     KindResults { cells, seed_counts }

@@ -11,7 +11,7 @@
 use netmodel::Protocol;
 use tga::TgaId;
 
-use crate::par::{default_threads, par_map};
+use crate::par::par_map_stats;
 use crate::report::{fmt_count, Table};
 use crate::runner::{cell_salt, run_tga};
 use crate::study::{DatasetKind, Study};
@@ -58,12 +58,8 @@ pub fn budget_sweep(
             work.push((t, b));
         }
     }
-    let threads = if study.config().parallel {
-        default_threads()
-    } else {
-        1
-    };
-    let results = par_map(work, threads, |(tga, budget)| {
+    let threads = study.config().effective_threads();
+    let (results, _stats) = par_map_stats(work, threads, "budget", |(tga, budget)| {
         let salt = cell_salt(0xb5d9e7, tga, proto, budget as u64);
         let r = run_tga(study, tga, &seeds, proto, budget, salt);
         (tga, budget, r.metrics.hits, r.metrics.ases)

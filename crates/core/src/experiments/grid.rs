@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use netmodel::{Protocol, PROTOCOLS};
 use tga::TgaId;
 
-use crate::par::{default_threads, par_map};
+use crate::par::par_map_stats;
 use crate::runner::{cell_salt, run_tga, RunResult};
 use crate::study::{DatasetKind, Study};
 
@@ -91,13 +91,18 @@ pub fn grid_over(
             }
         }
     }
-    let threads = if study.config().parallel {
-        default_threads()
-    } else {
-        1
-    };
+    let threads = study.config().effective_threads();
     let budget = study.config().budget;
-    let results = par_map(work, threads, |(dataset, proto, tga)| {
+    let _span = sos_obs::span_detail(
+        "grid",
+        format!("cells={} threads={threads}", work.len()),
+    );
+    let progress = sos_obs::Progress::new("grid cells", work.len() as u64);
+    let (results, _stats) = par_map_stats(work, threads, "grid", |(dataset, proto, tga)| {
+        let _cell = sos_obs::span_detail(
+            "cell",
+            format!("dataset={dataset:?} proto={proto:?} tga={tga}"),
+        );
         let seeds = study.dataset(dataset);
         let salt = cell_salt(0x617d, tga, proto, dataset_index(dataset));
         let mut r = run_tga(study, tga, seeds, proto, budget, salt);
@@ -109,6 +114,7 @@ pub fn grid_over(
             r.clean_hits = Vec::new();
             r.clean_hits.shrink_to_fit();
         }
+        progress.tick();
         ((dataset, proto, tga), r)
     });
     Grid {

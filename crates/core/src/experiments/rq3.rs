@@ -12,7 +12,7 @@ use netmodel::{Asn, Protocol, PROTOCOLS};
 use seeds::SourceId;
 use tga::TgaId;
 
-use crate::par::{default_threads, par_map};
+use crate::par::par_map_stats;
 use crate::report::{fmt_count, fmt_pct, Table};
 use crate::runner::{cell_salt, run_tga, RunResult};
 use crate::study::{DatasetKind, Study};
@@ -89,11 +89,7 @@ pub fn run_rq3(study: &Study, protos: &[Protocol], tgas: &[TgaId]) -> Rq3Results
             }
         }
     }
-    let threads = if study.config().parallel {
-        default_threads()
-    } else {
-        1
-    };
+    let threads = study.config().effective_threads();
     let budget = study.config().budget;
     let seed_of = |s: SourceId| -> &Vec<Ipv6Addr> {
         &sources.iter().find(|(id, _)| *id == s).expect("source").1
@@ -101,28 +97,29 @@ pub fn run_rq3(study: &Study, protos: &[Protocol], tgas: &[TgaId]) -> Rq3Results
     let total_cells = work.len();
     let done = std::sync::atomic::AtomicUsize::new(0);
     let cells: BTreeMap<(SourceId, Protocol, TgaId), RunResult> =
-        par_map(work, threads, |(source, proto, tga)| {
+        par_map_stats(work, threads, "rq3.sources", |(source, proto, tga)| {
             let salt = cell_salt(0x593, tga, proto, source.stream());
             let r = run_tga(study, tga, seed_of(source), proto, budget, salt);
             let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
             if n % 32 == 0 {
-                eprintln!("[rq3] {n}/{total_cells} source cells");
+                sos_obs::info!("rq3: {n}/{total_cells} source cells");
             }
             ((source, proto, tga), r)
         })
+        .0
         .into_iter()
         .collect();
 
     // The "600M" analog: one big All-Active run per TGA on ICMP.
     let big_budget = budget * study.config().big_budget_multiplier;
     let all_active = study.dataset(DatasetKind::AllActive).to_vec();
-    let big_runs: BTreeMap<TgaId, RunResult> = par_map(tgas.to_vec(), threads, |tga| {
-        let t = std::time::Instant::now();
+    let big_runs: BTreeMap<TgaId, RunResult> = par_map_stats(tgas.to_vec(), threads, "rq3.big", |tga| {
+        let _span = sos_obs::span_detail("big_run", format!("tga={tga}"));
         let salt = cell_salt(0x600, tga, Protocol::Icmp, 99);
         let r = run_tga(study, tga, &all_active, Protocol::Icmp, big_budget, salt);
-        eprintln!("[rq3] big run {tga} done in {:.1?}", t.elapsed());
         (tga, r)
     })
+    .0
     .into_iter()
     .collect();
 

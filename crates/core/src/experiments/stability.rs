@@ -13,7 +13,7 @@
 use netmodel::Protocol;
 use tga::TgaId;
 
-use crate::par::{default_threads, par_map};
+use crate::par::par_map_stats;
 use crate::report::{fmt_count, Table};
 use crate::runner::run_tga;
 use crate::study::{DatasetKind, Study};
@@ -82,13 +82,9 @@ pub fn stability(study: &Study, tgas: &[TgaId], reps: usize, proto: Protocol) ->
             work.push((t, rep as u64));
         }
     }
-    let threads = if study.config().parallel {
-        default_threads()
-    } else {
-        1
-    };
+    let threads = study.config().effective_threads();
     let budget = study.config().budget;
-    let results = par_map(work, threads, |(tga, rep)| {
+    let (results, _stats) = par_map_stats(work, threads, "stability", |(tga, rep)| {
         // the rep perturbs only the generation/evaluation salt
         let salt = netmodel::mix::mix3(0x57ab, tga as u64, rep);
         let r = run_tga(study, tga, &seeds, proto, budget, salt);

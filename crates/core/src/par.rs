@@ -4,6 +4,17 @@
 //! embarrassingly parallel: every cell owns its scanner and RNG, and the
 //! world is immutable behind an `Arc`. Per the networking guides, this is
 //! CPU-bound work — plain scoped threads, not an async runtime.
+//!
+//! Results land in per-slot locks (`Vec<Mutex<Option<R>>>`), so writers
+//! never contend with each other: each index is touched by exactly one
+//! worker, and the old shared `Mutex<&mut Vec<_>>` bottleneck — every
+//! result write serialized behind one lock — is gone. Each invocation
+//! also measures per-item queue-wait vs. execute time and per-worker
+//! utilization, recorded through `sos-obs` for the run manifest.
+
+use std::sync::Mutex;
+
+use sos_obs::par::{ParCell, ParStats, ParWorker};
 
 /// Map `f` over `items`, running up to `threads` items concurrently.
 /// Results come back in input order. With `threads <= 1` this degrades to
@@ -15,26 +26,100 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    if threads <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
+    par_map_stats(items, threads, "par_map", f).0
+}
+
+/// [`par_map`] that also returns scheduling statistics for this call.
+/// The statistics are additionally recorded in the global `sos-obs`
+/// par-stats table (under `label`) so manifests capture every invocation.
+pub fn par_map_stats<T, R, F>(
+    items: Vec<T>,
+    threads: usize,
+    label: &str,
+    f: F,
+) -> (Vec<R>, ParStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let start = sos_obs::now_s();
     let n = items.len();
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let work: std::sync::Mutex<std::vec::IntoIter<(usize, T)>> =
-        std::sync::Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>().into_iter());
-    let out = std::sync::Mutex::new(&mut slots);
+    if threads <= 1 || n <= 1 {
+        let mut cells = Vec::with_capacity(n);
+        let results: Vec<R> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let t0 = sos_obs::now_s();
+                let r = f(item);
+                cells.push(ParCell {
+                    index: i,
+                    wait_s: t0 - start,
+                    exec_s: sos_obs::now_s() - t0,
+                    worker: 0,
+                });
+                r
+            })
+            .collect();
+        return (results, finish_stats(label, 1, start, cells));
+    }
+
+    let workers = threads.min(n);
+    // One lock per result slot: a worker writing slot i never waits on a
+    // worker writing slot j.
+    let slots: Vec<Mutex<Option<(R, ParCell)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let work: Mutex<std::vec::IntoIter<(usize, T)>> =
+        Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>().into_iter());
     crossbeam::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|_| loop {
+        for w in 0..workers {
+            let slots = &slots;
+            let work = &work;
+            let f = &f;
+            scope.spawn(move |_| loop {
                 let next = work.lock().expect("work queue lock").next();
                 let Some((i, item)) = next else { break };
+                let t0 = sos_obs::now_s();
                 let r = f(item);
-                out.lock().expect("result lock")[i] = Some(r);
+                let cell = ParCell {
+                    index: i,
+                    wait_s: t0 - start,
+                    exec_s: sos_obs::now_s() - t0,
+                    worker: w,
+                };
+                *slots[i].lock().expect("result slot lock") = Some((r, cell));
             });
         }
     })
     .expect("worker panicked");
-    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+
+    let mut cells = Vec::with_capacity(n);
+    let results: Vec<R> = slots
+        .into_iter()
+        .map(|s| {
+            let (r, cell) = s.into_inner().expect("result slot lock").expect("all slots filled");
+            cells.push(cell);
+            r
+        })
+        .collect();
+    (results, finish_stats(label, workers, start, cells))
+}
+
+fn finish_stats(label: &str, threads: usize, start_s: f64, cells: Vec<ParCell>) -> ParStats {
+    let mut workers = vec![ParWorker { busy_s: 0.0, items: 0 }; threads];
+    for c in &cells {
+        workers[c.worker].busy_s += c.exec_s;
+        workers[c.worker].items += 1;
+    }
+    let stats = ParStats {
+        label: label.to_string(),
+        threads,
+        wall_s: sos_obs::now_s() - start_s,
+        cells,
+        workers,
+    };
+    sos_obs::par::record(stats.clone());
+    stats
 }
 
 /// Default worker count: physical parallelism capped at 8 (the grids are
@@ -79,5 +164,38 @@ mod tests {
         let items: Vec<u64> = (0..200).collect();
         let r = par_map(items.clone(), 8, |x| x * 2);
         assert_eq!(r, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_cover_every_item_once() {
+        let (r, stats) = par_map_stats((0..50u64).collect(), 4, "stats_test", |x| x + 1);
+        assert_eq!(r, (1..=50).collect::<Vec<_>>());
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.cells.len(), 50);
+        // Results are in input order, and so are the cell records.
+        let indices: Vec<usize> = stats.cells.iter().map(|c| c.index).collect();
+        assert_eq!(indices, (0..50).collect::<Vec<_>>());
+        let executed: u64 = stats.workers.iter().map(|w| w.items).sum();
+        assert_eq!(executed, 50, "every item executed by exactly one worker");
+        assert!(stats.cells.iter().all(|c| c.worker < 4));
+        assert!(stats.wall_s >= 0.0);
+    }
+
+    #[test]
+    fn sequential_path_reports_one_worker() {
+        let (_, stats) = par_map_stats(vec![1, 2, 3], 1, "seq_test", |x| x);
+        assert_eq!(stats.threads, 1);
+        assert_eq!(stats.workers.len(), 1);
+        assert_eq!(stats.workers[0].items, 3);
+    }
+
+    #[test]
+    fn invocations_are_recorded_globally() {
+        par_map(vec![1, 2, 3, 4], 2, |x| x);
+        let recorded = sos_obs::par::snapshot();
+        assert!(
+            recorded.iter().any(|s| s.label == "par_map" && s.cells.len() == 4),
+            "par_map call shows up in the global table"
+        );
     }
 }

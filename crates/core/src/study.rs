@@ -67,9 +67,17 @@ impl Study {
     /// Build the study: synthesize the world, run all twelve collectors,
     /// and materialize the Table 2 dataset family (dealiasing + pre-scan).
     pub fn new(cfg: StudyConfig) -> Study {
-        let world = Arc::new(World::build(cfg.world.clone()));
-        let collection = collect_all(&world, cfg.collector);
+        let _span = sos_obs::span("study_build");
+        let world = {
+            let _s = sos_obs::span("world_build");
+            Arc::new(World::build(cfg.world.clone()))
+        };
+        let collection = {
+            let _s = sos_obs::span("seed_collect");
+            collect_all(&world, cfg.collector)
+        };
         let full = collection.combined();
+        let _s = sos_obs::span("seed_pipeline");
         let mut dealiaser = JointDealiaser::new(
             OfflineDealiaser::new(world.published_alias_list()),
             OnlineDealiaser::new(OnlineConfig {
@@ -142,7 +150,10 @@ impl Study {
     /// results (§4.1's AS12322 filter).
     pub fn evaluate(&self, generated: &[Ipv6Addr], proto: Protocol, salt: u64) -> EvalOutcome {
         let mut scanner = self.scanner(salt);
-        let report = scanner.scan(generated.iter().copied(), proto);
+        let report = {
+            let _s = sos_obs::span_detail("scan", format!("proto={proto:?} targets={}", generated.len()));
+            scanner.scan(generated.iter().copied(), proto)
+        };
 
         // Two-tier output dealiasing.
         let mut dealiaser = JointDealiaser::new(
@@ -152,7 +163,10 @@ impl Study {
                 ..OnlineConfig::default()
             }),
         );
-        let outcome = dealiaser.run(dealias::DealiasMode::Joint, &mut scanner, &report.hits, proto);
+        let outcome = {
+            let _s = sos_obs::span_detail("dealias", format!("proto={proto:?} hits={}", report.hits.len()));
+            dealiaser.run(dealias::DealiasMode::Joint, &mut scanner, &report.hits, proto)
+        };
 
         // §4.1: the megapattern AS is filtered from ICMP evaluation.
         let mega_asn = self.world.megapattern().map(|m| m.asn);

@@ -118,9 +118,16 @@ impl OnlineDealiaser {
                 break;
             }
         }
-        self.probe_packets += oracle.packets_sent() - before;
+        let spent = oracle.packets_sent() - before;
+        self.probe_packets += spent;
         let aliased = active >= self.cfg.threshold;
         self.decided.insert(key, aliased);
+        sos_obs::counter("dealias.online.prefixes_checked").inc();
+        sos_obs::counter("dealias.online.probe_packets").add(spent);
+        if aliased {
+            sos_obs::counter("dealias.online.aliased_prefixes").inc();
+            sos_obs::debug!("aliased /{} at {} on {proto:?}", self.cfg.prefix_len, prefix.network());
+        }
         aliased
     }
 

@@ -1,0 +1,252 @@
+//! A minimal JSON document model and serializer.
+//!
+//! The manifest must be machine-readable without pulling serde_json into a
+//! zero-dependency crate, so this is the smallest faithful writer: exact
+//! integers for counters (`u64` survives round-trips that `f64` would
+//! corrupt), standard escaping, and stable key order (insertion order —
+//! callers build from sorted maps where determinism matters).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer, serialized exactly.
+    U64(u64),
+    /// Signed integer, serialized exactly.
+    I64(i64),
+    /// Floating point; non-finite values serialize as `null`.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert/overwrite a key on an object (panics on non-objects).
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Json {
+        let Json::Obj(fields) = self else {
+            panic!("Json::set on a non-object");
+        };
+        let value = value.into();
+        match fields.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => fields.push((key.to_string(), value)),
+        }
+        self
+    }
+
+    /// Look up a key on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Serialize with 2-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => {
+                if x.is_finite() {
+                    // {:?} prints the shortest representation that
+                    // round-trips, always with a decimal point or exponent.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d)
+                });
+            }
+            Json::Obj(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i, d| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+/// Compact serialization; `Json::to_string()` comes from this impl.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(v.into())
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Json> + Clone> From<&BTreeMap<String, T>> for Json {
+    fn from(m: &BTreeMap<String, T>) -> Json {
+        Json::Obj(m.iter().map(|(k, v)| (k.clone(), v.clone().into())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::U64(u64::MAX).to_string(), "18446744073709551615");
+        assert_eq!(Json::I64(-3).to_string(), "-3");
+        assert_eq!(Json::F64(0.5).to_string(), "0.5");
+        assert_eq!(Json::F64(f64::NAN).to_string(), "null");
+        assert_eq!(Json::F64(2.0).to_string(), "2.0", "floats keep a decimal point");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(Json::Str("a\"b\\c\nd\u{1}".into()).to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn objects_keep_insertion_order_and_overwrite() {
+        let mut o = Json::obj();
+        o.set("b", 1u64).set("a", 2u64).set("b", 3u64);
+        assert_eq!(o.to_string(), r#"{"b":3,"a":2}"#);
+        assert_eq!(o.get("a"), Some(&Json::U64(2)));
+        assert_eq!(o.get("missing"), None);
+    }
+
+    #[test]
+    fn pretty_printing_nests() {
+        let mut o = Json::obj();
+        o.set("xs", vec![1u64, 2]);
+        assert_eq!(o.to_string_pretty(), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+        assert_eq!(Json::obj().to_string_pretty(), "{}");
+    }
+}

@@ -1,0 +1,219 @@
+//! The machine-readable run manifest.
+//!
+//! A [`Manifest`] accumulates run identity (tool, arguments, seed, scale)
+//! and result digests while a binary runs, then [`Manifest::finish`]
+//! snapshots every global telemetry source — counters, histograms, span
+//! aggregates, per-cell span records, and `par_map` statistics — into one
+//! JSON document. Writing the manifest is the last thing a run does, so
+//! the document is a complete post-mortem: what ran, with what inputs,
+//! how long each phase took, and exactly what the engines did.
+//!
+//! Result digests are FNV-1a hashes of rendered output tables; two runs
+//! of the same configuration must produce identical digests (the
+//! determinism check `--manifest` exists to make cheap).
+
+use std::io;
+use std::path::Path;
+
+use crate::json::Json;
+
+/// FNV-1a 64-bit hash — stable across runs, platforms, and releases,
+/// which `DefaultHasher` explicitly is not.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Format a digest the way manifests store it.
+pub fn digest_hex(d: u64) -> String {
+    format!("{d:016x}")
+}
+
+/// Accumulates a run's identity and results, then serializes everything
+/// the observability layer captured.
+#[derive(Debug)]
+pub struct Manifest {
+    root: Json,
+    config: Json,
+    digests: Json,
+    started_s: f64,
+}
+
+impl Manifest {
+    /// Start a manifest for `tool` (the binary name).
+    pub fn new(tool: &str) -> Manifest {
+        let mut root = Json::obj();
+        root.set("tool", tool);
+        root.set("obs_version", env!("CARGO_PKG_VERSION"));
+        Manifest {
+            root,
+            config: Json::obj(),
+            digests: Json::obj(),
+            started_s: crate::now_s(),
+        }
+    }
+
+    /// Set a top-level field (e.g. `experiment`).
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Manifest {
+        self.root.set(key, value);
+        self
+    }
+
+    /// Set a field under the `config` section (scale, seed, budget, …).
+    pub fn config(&mut self, key: &str, value: impl Into<Json>) -> &mut Manifest {
+        self.config.set(key, value);
+        self
+    }
+
+    /// Digest a rendered result (a printed table, a CSV body) under
+    /// `name` and record it in the `digests` section. Returns the digest
+    /// so callers can also log it.
+    pub fn record_digest(&mut self, name: &str, text: &str) -> u64 {
+        let d = fnv1a64(text.as_bytes());
+        self.digests.set(name, digest_hex(d));
+        d
+    }
+
+    /// Snapshot all telemetry and produce the final document.
+    pub fn finish(self) -> Json {
+        let Manifest { mut root, config, digests, started_s } = self;
+        root.set("elapsed_s", crate::now_s() - started_s);
+        root.set("config", config);
+        root.set("digests", digests);
+
+        let registry = crate::metrics::global();
+        root.set("counters", &registry.counter_snapshot());
+
+        let mut hists = Json::obj();
+        for (name, snap) in registry.histogram_snapshot() {
+            let mut h = Json::obj();
+            h.set("count", snap.count);
+            h.set("sum", snap.sum);
+            h.set("max", snap.max);
+            let mean = if snap.count > 0 { snap.sum as f64 / snap.count as f64 } else { 0.0 };
+            h.set("mean", mean);
+            h.set(
+                "buckets",
+                Json::Arr(
+                    snap.buckets
+                        .iter()
+                        .map(|&(le, n)| {
+                            let mut b = Json::obj();
+                            b.set("le", le);
+                            b.set("count", n);
+                            b
+                        })
+                        .collect(),
+                ),
+            );
+            hists.set(&name, h);
+        }
+        root.set("histograms", hists);
+
+        let mut spans = Json::obj();
+        for (path, agg) in crate::span::aggregate() {
+            let mut s = Json::obj();
+            s.set("count", agg.count);
+            s.set("total_s", agg.total_s);
+            s.set("min_s", agg.min_s);
+            s.set("max_s", agg.max_s);
+            spans.set(&path, s);
+        }
+        root.set("spans", spans);
+
+        // Per-cell wall-clock records: every span instance that carries
+        // detail text (cells, per-TGA generation, per-protocol scans).
+        let cells: Vec<Json> = crate::span::records()
+            .into_iter()
+            .filter(|r| !r.detail.is_empty())
+            .map(|r| {
+                let mut c = Json::obj();
+                c.set("path", r.path);
+                c.set("detail", r.detail);
+                c.set("start_s", r.start_s);
+                c.set("dur_s", r.dur_s);
+                c
+            })
+            .collect();
+        root.set("span_records", Json::Arr(cells));
+
+        root.set(
+            "par_map",
+            Json::Arr(crate::par::snapshot().iter().map(|s| s.to_json()).collect()),
+        );
+
+        root
+    }
+
+    /// [`finish`](Manifest::finish) and write pretty-printed JSON to
+    /// `path` (with a trailing newline).
+    pub fn write_to_file(self, path: &Path) -> io::Result<()> {
+        let doc = self.finish();
+        std::fs::write(path, doc.to_string_pretty() + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digests_are_stable_and_hex() {
+        assert_eq!(digest_hex(fnv1a64(b"")), "cbf29ce484222325");
+    }
+
+    #[test]
+    fn manifest_collects_sections() {
+        let mut m = Manifest::new("unit-test");
+        m.set("experiment", "rq1");
+        m.config("scale", "tiny").config("seed", 7u64);
+        let d1 = m.record_digest("table", "col1,col2\n1,2\n");
+        let d2 = m.record_digest("table", "col1,col2\n1,2\n");
+        assert_eq!(d1, d2, "same text, same digest");
+
+        crate::counter("unit_manifest_test_counter").add(3);
+        let doc = m.finish();
+        assert_eq!(doc.get("tool"), Some(&Json::Str("unit-test".into())));
+        assert_eq!(doc.get("experiment"), Some(&Json::Str("rq1".into())));
+        assert_eq!(
+            doc.get("config").and_then(|c| c.get("seed")),
+            Some(&Json::U64(7))
+        );
+        assert_eq!(
+            doc.get("digests").and_then(|d| d.get("table")),
+            Some(&Json::Str(digest_hex(d1)))
+        );
+        assert_eq!(
+            doc.get("counters").and_then(|c| c.get("unit_manifest_test_counter")),
+            Some(&Json::U64(3))
+        );
+        assert!(doc.get("spans").is_some());
+        assert!(doc.get("par_map").is_some());
+        let text = doc.to_string_pretty();
+        assert!(text.contains("\"elapsed_s\""));
+    }
+
+    #[test]
+    fn manifest_writes_to_file() {
+        let path = std::env::temp_dir().join("sos_obs_manifest_test.json");
+        let mut m = Manifest::new("unit-test");
+        m.record_digest("out", "hello");
+        m.write_to_file(&path).expect("write manifest");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.starts_with('{') && body.ends_with("}\n"));
+        assert!(body.contains("\"digests\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,320 @@
+//! Lock-free counters and histograms with a global named registry.
+//!
+//! The hot path is two atomic adds: engine code holds `Arc` handles
+//! resolved once (at scanner construction), so per-packet accounting never
+//! takes a lock. The registry mutex is touched only on first registration
+//! and on snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n` events.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter (test/reset support).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log₂ value buckets ([`Histogram`] accepts any `u64`).
+const BUCKETS: usize = 65;
+
+/// A lock-free histogram over `u64` values with log₂ buckets: bucket `i`
+/// counts values whose highest set bit is `i − 1` (bucket 0 counts zeros),
+/// i.e. values in `[2^(i−1), 2^i)`. Also tracks count, sum, and max.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0u64; BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Recorded observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// `(inclusive upper bound, count)` for each non-empty log₂ bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a value.
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    fn bound_of(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (1u64 << (i - 1)).saturating_mul(2).saturating_sub(1)
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration in whole microseconds (the standard time unit for
+    /// wait/latency histograms in the manifest).
+    pub fn record_seconds_as_us(&self, seconds: f64) {
+        self.record((seconds * 1e6) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Copy out the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((Self::bound_of(i), n))
+                })
+                .collect(),
+        }
+    }
+
+    /// Zero the histogram (test/reset support).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A named collection of counters and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// A fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, created on first use. Hold the
+    /// returned handle for lock-free increments on hot paths.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter registry");
+        match map.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Arc::new(Counter::new());
+                map.insert(name.to_string(), c.clone());
+                c
+            }
+        }
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram registry");
+        match map.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = Arc::new(Histogram::new());
+                map.insert(name.to_string(), h.clone());
+                h
+            }
+        }
+    }
+
+    /// All counter values, sorted by name.
+    pub fn counter_snapshot(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .lock()
+            .expect("counter registry")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All histogram states, sorted by name.
+    pub fn histogram_snapshot(&self) -> BTreeMap<String, HistogramSnapshot> {
+        self.histograms
+            .lock()
+            .expect("histogram registry")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Zero every registered counter and histogram (names stay registered).
+    pub fn reset(&self) {
+        for c in self.counters.lock().expect("counter registry").values() {
+            c.reset();
+        }
+        for h in self.histograms.lock().expect("histogram registry").values() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-wide registry the pipeline reports into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Shorthand: a counter in the global registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Shorthand: a histogram in the global registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_resets() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.max, u64::MAX);
+        // 0 → bound 0; 1 → bound 1; 2,3 → bound 3; 4 → bound 7; 1000 → 1023
+        let bounds: Vec<u64> = s.buckets.iter().map(|&(b, _)| b).collect();
+        assert!(bounds.contains(&0) && bounds.contains(&1) && bounds.contains(&3));
+        assert!(bounds.contains(&7) && bounds.contains(&1023));
+        let n_in_3: u64 = s.buckets.iter().find(|&&(b, _)| b == 3).unwrap().1;
+        assert_eq!(n_in_3, 2, "2 and 3 share the [2,4) bucket");
+    }
+
+    #[test]
+    fn histogram_mean_and_sum() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(30);
+        assert_eq!(h.sum(), 40);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+        assert_eq!(Histogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn seconds_recorded_as_microseconds() {
+        let h = Histogram::new();
+        h.record_seconds_as_us(0.001_5);
+        assert_eq!(h.sum(), 1_500);
+    }
+
+    #[test]
+    fn registry_returns_same_instance_per_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(r.counter_snapshot().get("x"), Some(&1));
+        r.reset();
+        assert_eq!(b.get(), 0, "reset zeroes but keeps registration");
+        assert!(r.counter_snapshot().contains_key("x"));
+    }
+
+    #[test]
+    fn registry_histograms_snapshot() {
+        let r = Registry::new();
+        r.histogram("h").record(5);
+        let snap = r.histogram_snapshot();
+        assert_eq!(snap["h"].count, 1);
+        assert_eq!(snap["h"].sum, 5);
+    }
+}

@@ -1,0 +1,167 @@
+//! Parallel-execution statistics.
+//!
+//! The work-stealing `par_map` in `sos-core` measures, for every cell it
+//! executes, how long the cell sat in the queue versus how long it ran,
+//! and which worker picked it up. Those measurements arrive here as a
+//! [`ParStats`] batch per `par_map` invocation; the manifest serializes
+//! every batch recorded during the run so scheduling pathologies (one
+//! giant straggler cell, idle workers, queue convoys) are visible after
+//! the fact.
+
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Timing for one work item (cell) through a `par_map` call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParCell {
+    /// Input-order index of the item.
+    pub index: usize,
+    /// Seconds between `par_map` start and a worker dequeuing the item.
+    pub wait_s: f64,
+    /// Seconds the closure ran.
+    pub exec_s: f64,
+    /// Worker thread (0-based) that executed the item.
+    pub worker: usize,
+}
+
+/// Per-worker rollup for one `par_map` call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParWorker {
+    /// Total seconds this worker spent executing closures.
+    pub busy_s: f64,
+    /// Number of items this worker executed.
+    pub items: u64,
+}
+
+/// Complete statistics for one `par_map` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParStats {
+    /// Call-site label (e.g. the experiment the grid ran under).
+    pub label: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole call.
+    pub wall_s: f64,
+    /// Per-item timings, in input order.
+    pub cells: Vec<ParCell>,
+    /// Per-worker rollups, indexed by worker id.
+    pub workers: Vec<ParWorker>,
+}
+
+impl ParStats {
+    /// Fraction of total worker-seconds spent executing closures
+    /// (`Σ busy / (threads × wall)`); 0 when the call did no work.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.threads as f64 * self.wall_s;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.workers.iter().map(|w| w.busy_s).sum();
+        (busy / capacity).min(1.0)
+    }
+
+    /// Serialize for the manifest.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("label", self.label.as_str());
+        o.set("threads", self.threads);
+        o.set("wall_s", self.wall_s);
+        o.set("utilization", self.utilization());
+        o.set(
+            "cells",
+            Json::Arr(
+                self.cells
+                    .iter()
+                    .map(|c| {
+                        let mut cell = Json::obj();
+                        cell.set("index", c.index);
+                        cell.set("wait_s", c.wait_s);
+                        cell.set("exec_s", c.exec_s);
+                        cell.set("worker", c.worker);
+                        cell
+                    })
+                    .collect(),
+            ),
+        );
+        o.set(
+            "workers",
+            Json::Arr(
+                self.workers
+                    .iter()
+                    .map(|w| {
+                        let mut worker = Json::obj();
+                        worker.set("busy_s", w.busy_s);
+                        worker.set("items", w.items);
+                        worker
+                    })
+                    .collect(),
+            ),
+        );
+        o
+    }
+}
+
+static RECORDS: Mutex<Vec<ParStats>> = Mutex::new(Vec::new());
+
+/// Record one `par_map` invocation's statistics for the manifest.
+pub fn record(stats: ParStats) {
+    RECORDS.lock().expect("par records").push(stats);
+}
+
+/// Copy of every recorded invocation, in completion order.
+pub fn snapshot() -> Vec<ParStats> {
+    RECORDS.lock().expect("par records").clone()
+}
+
+/// Forget all recorded invocations (test/reset support).
+pub fn clear() {
+    RECORDS.lock().expect("par records").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ParStats {
+        ParStats {
+            label: "unit".into(),
+            threads: 2,
+            wall_s: 2.0,
+            cells: vec![
+                ParCell { index: 0, wait_s: 0.0, exec_s: 1.0, worker: 0 },
+                ParCell { index: 1, wait_s: 0.5, exec_s: 2.0, worker: 1 },
+            ],
+            workers: vec![
+                ParWorker { busy_s: 1.0, items: 1 },
+                ParWorker { busy_s: 2.0, items: 1 },
+            ],
+        }
+    }
+
+    #[test]
+    fn utilization_is_busy_over_capacity() {
+        let s = sample();
+        // 3 busy worker-seconds over 2 threads × 2 s = 0.75.
+        assert!((s.utilization() - 0.75).abs() < 1e-9);
+        let empty = ParStats {
+            label: String::new(),
+            threads: 0,
+            wall_s: 0.0,
+            cells: vec![],
+            workers: vec![],
+        };
+        assert_eq!(empty.utilization(), 0.0);
+    }
+
+    #[test]
+    fn serializes_cells_and_workers() {
+        let j = sample().to_json();
+        assert_eq!(j.get("threads"), Some(&Json::U64(2)));
+        let Some(Json::Arr(cells)) = j.get("cells") else {
+            panic!("cells array");
+        };
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[1].get("worker"), Some(&Json::U64(1)));
+    }
+}

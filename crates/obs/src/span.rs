@@ -1,0 +1,192 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A [`Span`] is an RAII guard: opening pushes a frame on a thread-local
+//! stack (so log events carry their span path), dropping records the
+//! duration into a global table the manifest serializes. Spans opened on a
+//! worker thread root at that thread — the experiment grid's `cell` spans
+//! nest `generate`/`scan`/`dealias` underneath themselves, not under the
+//! main thread's `study` span.
+//!
+//! Timings are observational only: nothing reads them back into the
+//! pipeline, so instrumented runs stay bit-identical to bare ones.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::log::{enabled, Level};
+
+/// One completed span occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// `>`-joined names from the thread's root span to this one.
+    pub path: String,
+    /// Free-form instance detail (e.g. `tga=6Tree port=ICMP`).
+    pub detail: String,
+    /// Start, seconds since process clock origin.
+    pub start_s: f64,
+    /// Wall-clock duration in seconds.
+    pub dur_s: f64,
+}
+
+/// Aggregate statistics over all occurrences of one span path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanAgg {
+    /// Number of occurrences.
+    pub count: u64,
+    /// Total seconds across occurrences.
+    pub total_s: f64,
+    /// Fastest occurrence.
+    pub min_s: f64,
+    /// Slowest occurrence.
+    pub max_s: f64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<(&'static str, String)>> = const { RefCell::new(Vec::new()) };
+}
+
+static RECORDS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+/// RAII span guard; created by [`span`] / [`span_detail`].
+#[derive(Debug)]
+pub struct Span {
+    path: String,
+    detail: String,
+    start_s: f64,
+}
+
+/// Open a span named `name` under the current thread's span stack.
+pub fn span(name: &'static str) -> Span {
+    span_detail(name, String::new())
+}
+
+/// Open a span with instance detail (rendered in logs and kept verbatim in
+/// the manifest's span records).
+pub fn span_detail(name: &'static str, detail: impl Into<String>) -> Span {
+    let detail = detail.into();
+    let path = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push((name, detail.clone()));
+        join_path(&s)
+    });
+    if enabled(Level::Debug) {
+        if detail.is_empty() {
+            crate::debug!("▶ open");
+        } else {
+            crate::debug!("▶ open [{detail}]");
+        }
+    }
+    Span { path, detail, start_s: crate::now_s() }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur_s = crate::now_s() - self.start_s;
+        if enabled(Level::Debug) {
+            if self.detail.is_empty() {
+                crate::debug!("◀ close in {:.3}s", dur_s);
+            } else {
+                crate::debug!("◀ close [{}] in {:.3}s", self.detail, dur_s);
+            }
+        }
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        RECORDS.lock().expect("span records").push(SpanRecord {
+            path: std::mem::take(&mut self.path),
+            detail: std::mem::take(&mut self.detail),
+            start_s: self.start_s,
+            dur_s,
+        });
+    }
+}
+
+fn join_path(stack: &[(&'static str, String)]) -> String {
+    stack.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(">")
+}
+
+/// The current thread's span path, `>`-joined (empty outside any span).
+pub fn current_path() -> String {
+    STACK.with(|s| join_path(&s.borrow()))
+}
+
+/// Copy of every span recorded so far, in completion order.
+pub fn records() -> Vec<SpanRecord> {
+    RECORDS.lock().expect("span records").clone()
+}
+
+/// Aggregate recorded spans by path.
+pub fn aggregate() -> BTreeMap<String, SpanAgg> {
+    let mut out: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    for r in RECORDS.lock().expect("span records").iter() {
+        let e = out.entry(r.path.clone()).or_insert(SpanAgg {
+            count: 0,
+            total_s: 0.0,
+            min_s: f64::INFINITY,
+            max_s: 0.0,
+        });
+        e.count += 1;
+        e.total_s += r.dur_s;
+        e.min_s = e.min_s.min(r.dur_s);
+        e.max_s = e.max_s.max(r.dur_s);
+    }
+    out
+}
+
+/// Forget all recorded spans (test/reset support).
+pub fn clear() {
+    RECORDS.lock().expect("span records").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record() {
+        // Serialize against other tests touching the global table.
+        clear();
+        {
+            let _outer = span("outer_span_test");
+            assert_eq!(current_path(), "outer_span_test");
+            {
+                let _inner = span_detail("inner_span_test", "k=v");
+                assert_eq!(current_path(), "outer_span_test>inner_span_test");
+            }
+            assert_eq!(current_path(), "outer_span_test");
+        }
+        assert_eq!(current_path(), "");
+        let recs: Vec<SpanRecord> =
+            records().into_iter().filter(|r| r.path.contains("span_test")).collect();
+        assert_eq!(recs.len(), 2, "inner closes first, then outer");
+        assert_eq!(recs[0].path, "outer_span_test>inner_span_test");
+        assert_eq!(recs[0].detail, "k=v");
+        assert_eq!(recs[1].path, "outer_span_test");
+        assert!(recs[1].dur_s >= recs[0].dur_s);
+    }
+
+    #[test]
+    fn aggregate_groups_by_path() {
+        for _ in 0..3 {
+            let _s = span("agg_span_test");
+        }
+        let agg = aggregate();
+        let a = agg.get("agg_span_test").expect("aggregated");
+        assert!(a.count >= 3);
+        assert!(a.min_s <= a.max_s);
+        assert!(a.total_s >= a.max_s);
+    }
+
+    #[test]
+    fn spans_are_thread_rooted() {
+        let _outer = span("root_thread_span_test");
+        std::thread::spawn(|| {
+            assert_eq!(current_path(), "", "fresh thread starts unnested");
+            let _s = span("worker_span_test");
+            assert_eq!(current_path(), "worker_span_test");
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -81,6 +81,7 @@ impl<'a, T: Transport> Campaign<'a, T> {
     pub fn run(&mut self, targets: &[Ipv6Addr]) -> CampaignResult {
         let mut result = CampaignResult::default();
         for &proto in &self.protocols {
+            let _span = sos_obs::span_detail("scan", format!("proto={proto:?}"));
             let report = self.scanner.scan(targets.iter().copied(), proto);
             for &hit in &report.hits {
                 result

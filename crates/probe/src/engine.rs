@@ -11,6 +11,7 @@ use std::net::Ipv6Addr;
 use netmodel::Protocol;
 use v6addr::PrefixSet;
 
+use crate::metrics::EngineMetrics;
 use crate::packet::{build_probe, parse_packet, validate_response, ParsedPacket};
 use crate::ratelimit::TokenBucket;
 use crate::transport::Transport;
@@ -99,6 +100,7 @@ pub struct Scanner<T: Transport> {
     cfg: ScannerConfig,
     transport: T,
     limiter: Option<TokenBucket>,
+    metrics: EngineMetrics,
 }
 
 impl<T: Transport> Scanner<T> {
@@ -109,12 +111,24 @@ impl<T: Transport> Scanner<T> {
             cfg,
             transport,
             limiter,
+            metrics: EngineMetrics::new(),
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &ScannerConfig {
         &self.cfg
+    }
+
+    /// This scanner's event accounting (also mirrored into the global
+    /// `sos-obs` registry for the run manifest).
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// The rate limiter, when one is configured.
+    pub fn limiter(&self) -> Option<&TokenBucket> {
+        self.limiter.as_ref()
     }
 
     /// Access the underlying transport.
@@ -136,18 +150,28 @@ impl<T: Transport> Scanner<T> {
         region: Option<u32>,
     ) -> (ProbeOutcome, Option<u32>, f64) {
         let mut waited = 0.0;
-        for _attempt in 0..=self.cfg.retries {
+        for attempt in 0..=self.cfg.retries {
+            if attempt > 0 {
+                self.metrics.retries.inc();
+            }
             if let Some(tb) = self.limiter.as_mut() {
-                waited += tb.acquire();
+                let wait = tb.acquire();
+                if wait > 0.0 {
+                    self.metrics.stall(wait);
+                }
+                waited += wait;
             }
             let probe = build_probe(self.cfg.src, dst, proto, self.cfg.salt, region);
+            self.metrics.packets_sent.inc();
             let Some(raw) = self.transport.send(&probe) else {
                 continue;
             };
             let Ok(parsed) = parse_packet(&raw) else {
+                self.metrics.drop_malformed.inc();
                 continue; // malformed response: drop, maybe retry
             };
             if self.cfg.validate && !validate_response(self.cfg.salt, dst, &parsed) {
+                self.metrics.drop_validation.inc();
                 continue; // spoofed/late response: drop
             }
             let tag = parsed.region_tag();
@@ -191,23 +215,48 @@ impl<T: Transport> Scanner<T> {
         for dst in targets {
             if !seen.insert(u128::from(dst)) {
                 report.duplicates += 1;
+                self.metrics.drop_duplicate.inc();
                 continue;
             }
             if self.cfg.blocklist.contains_addr(dst) {
                 report.blocked += 1;
+                self.metrics.drop_blocklist.inc();
                 continue;
             }
             report.probed += 1;
             let (outcome, _tag, waited) = self.probe_target(dst, proto, None);
             report.limited_seconds += waited;
             match outcome {
-                ProbeOutcome::Hit => report.hits.push(dst),
-                ProbeOutcome::Rst => report.rsts += 1,
-                ProbeOutcome::Unreachable => report.unreachables += 1,
-                ProbeOutcome::Silent => report.silent += 1,
+                ProbeOutcome::Hit => {
+                    self.metrics.hits.inc();
+                    report.hits.push(dst);
+                }
+                ProbeOutcome::Rst => {
+                    self.metrics.rsts.inc();
+                    report.rsts += 1;
+                }
+                ProbeOutcome::Unreachable => {
+                    self.metrics.unreachables.inc();
+                    report.unreachables += 1;
+                }
+                ProbeOutcome::Silent => {
+                    self.metrics.silent.inc();
+                    report.silent += 1;
+                }
             }
         }
         report.packets_sent = self.transport.packets_sent() - start_packets;
+        sos_obs::debug!(
+            "scan {proto:?}: {} probed, {} hits, {} rst, {} unreach, {} silent, \
+             {} pkts, {:.3}s limited",
+            report.probed,
+            report.hits.len(),
+            report.rsts,
+            report.unreachables,
+            report.silent,
+            report.packets_sent,
+            report.limited_seconds,
+        );
         report
     }
 }

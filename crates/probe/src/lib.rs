@@ -22,6 +22,7 @@
 
 pub mod campaign;
 pub mod engine;
+pub mod metrics;
 pub mod oracle;
 pub mod packet;
 pub mod pcap;
@@ -31,6 +32,7 @@ pub mod transport;
 
 pub use campaign::{Campaign, CampaignResult};
 pub use engine::{ScanReport, Scanner, ScannerConfig};
+pub use metrics::EngineMetrics;
 pub use oracle::{NullOracle, ScanOracle};
 pub use packet::{build_probe, parse_packet, PacketError, ParsedPacket};
 pub use pcap::{CapturingTransport, PcapWriter};

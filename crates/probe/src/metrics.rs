@@ -1,0 +1,159 @@
+//! Engine event accounting.
+//!
+//! Every [`Scanner`](crate::Scanner) owns an [`EngineMetrics`]: a private
+//! registry (so a single scan's totals can be read back in isolation —
+//! essential under parallel test execution) that mirrors every event into
+//! the process-wide `sos-obs` registry the run manifest serializes.
+//! Recording is two relaxed atomic adds; nothing here feeds back into
+//! scan behaviour.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sos_obs::metrics::HistogramSnapshot;
+use sos_obs::{Counter, Histogram, Registry};
+
+/// A counter recorded locally and mirrored globally.
+#[derive(Debug, Clone)]
+pub(crate) struct Mirrored {
+    local: Arc<Counter>,
+    global: Arc<Counter>,
+}
+
+impl Mirrored {
+    fn new(registry: &Registry, name: &str) -> Mirrored {
+        Mirrored {
+            local: registry.counter(name),
+            global: sos_obs::counter(name),
+        }
+    }
+
+    pub(crate) fn add(&self, n: u64) {
+        self.local.add(n);
+        self.global.add(n);
+    }
+
+    pub(crate) fn inc(&self) {
+        self.add(1);
+    }
+}
+
+/// Per-scanner engine event accounting, mirrored into the global registry.
+///
+/// Counter names (all also visible in `--manifest` output):
+///
+/// | name | meaning |
+/// |---|---|
+/// | `probe.packets_sent` | probe packets transmitted, incl. retries |
+/// | `probe.retries` | retransmission attempts after the first |
+/// | `probe.hits` / `probe.rsts` / `probe.unreachables` / `probe.silent` | §4.1 classification outcomes |
+/// | `probe.drop.duplicate` | targets skipped by deduplication |
+/// | `probe.drop.blocklist` | targets skipped by the blocklist |
+/// | `probe.drop.validation` | responses failing token validation |
+/// | `probe.drop.malformed` | responses that failed to parse |
+/// | `probe.ratelimit.stalls` | acquires that had to wait for a token |
+///
+/// Histogram `probe.ratelimit.wait_us` records each stall's wait in µs.
+#[derive(Debug)]
+pub struct EngineMetrics {
+    registry: Registry,
+    pub(crate) packets_sent: Mirrored,
+    pub(crate) retries: Mirrored,
+    pub(crate) hits: Mirrored,
+    pub(crate) rsts: Mirrored,
+    pub(crate) unreachables: Mirrored,
+    pub(crate) silent: Mirrored,
+    pub(crate) drop_duplicate: Mirrored,
+    pub(crate) drop_blocklist: Mirrored,
+    pub(crate) drop_validation: Mirrored,
+    pub(crate) drop_malformed: Mirrored,
+    pub(crate) ratelimit_stalls: Mirrored,
+    pub(crate) wait_us_local: Arc<Histogram>,
+    pub(crate) wait_us_global: Arc<Histogram>,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineMetrics {
+    /// Fresh accounting with zeroed local totals.
+    pub fn new() -> EngineMetrics {
+        let registry = Registry::new();
+        let c = |name: &str| Mirrored::new(&registry, name);
+        EngineMetrics {
+            packets_sent: c("probe.packets_sent"),
+            retries: c("probe.retries"),
+            hits: c("probe.hits"),
+            rsts: c("probe.rsts"),
+            unreachables: c("probe.unreachables"),
+            silent: c("probe.silent"),
+            drop_duplicate: c("probe.drop.duplicate"),
+            drop_blocklist: c("probe.drop.blocklist"),
+            drop_validation: c("probe.drop.validation"),
+            drop_malformed: c("probe.drop.malformed"),
+            ratelimit_stalls: c("probe.ratelimit.stalls"),
+            wait_us_local: registry.histogram("probe.ratelimit.wait_us"),
+            wait_us_global: sos_obs::histogram("probe.ratelimit.wait_us"),
+            registry,
+        }
+    }
+
+    /// Record one rate-limiter stall of `wait_s` virtual seconds.
+    pub(crate) fn stall(&self, wait_s: f64) {
+        self.ratelimit_stalls.inc();
+        self.wait_us_local.record_seconds_as_us(wait_s);
+        self.wait_us_global.record_seconds_as_us(wait_s);
+    }
+
+    /// This scanner's counter totals (unaffected by other scanners).
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.registry.counter_snapshot()
+    }
+
+    /// One of this scanner's counters by name (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters().get(name).copied().unwrap_or(0)
+    }
+
+    /// This scanner's rate-limit wait histogram.
+    pub fn wait_histogram(&self) -> HistogramSnapshot {
+        self.wait_us_local.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_and_global_both_advance() {
+        let before = sos_obs::counter("probe.packets_sent").get();
+        let m = EngineMetrics::new();
+        m.packets_sent.add(5);
+        assert_eq!(m.counter("probe.packets_sent"), 5);
+        assert!(sos_obs::counter("probe.packets_sent").get() >= before + 5);
+    }
+
+    #[test]
+    fn fresh_metrics_are_isolated() {
+        let a = EngineMetrics::new();
+        let b = EngineMetrics::new();
+        a.hits.inc();
+        assert_eq!(a.counter("probe.hits"), 1);
+        assert_eq!(b.counter("probe.hits"), 0, "locals do not share state");
+    }
+
+    #[test]
+    fn stall_records_count_and_wait() {
+        let m = EngineMetrics::new();
+        m.stall(0.002);
+        m.stall(0.001);
+        assert_eq!(m.counter("probe.ratelimit.stalls"), 2);
+        let h = m.wait_histogram();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 3_000, "2 ms + 1 ms in µs");
+    }
+}

@@ -16,6 +16,8 @@ pub struct TokenBucket {
     now: f64,
     /// Total virtual time spent waiting.
     waited: f64,
+    /// Number of acquires that had to wait for a token.
+    stalls: u64,
 }
 
 impl TokenBucket {
@@ -32,6 +34,7 @@ impl TokenBucket {
             tokens: burst,
             now: 0.0,
             waited: 0.0,
+            stalls: 0,
         }
     }
 
@@ -53,6 +56,7 @@ impl TokenBucket {
         let wait = deficit / self.rate;
         self.now += wait;
         self.waited += wait;
+        self.stalls += 1;
         self.tokens = 0.0;
         wait
     }
@@ -71,6 +75,11 @@ impl TokenBucket {
     /// Total virtual seconds spent rate-limited.
     pub fn total_waited(&self) -> f64 {
         self.waited
+    }
+
+    /// Number of acquires that stalled (returned a non-zero wait).
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls
     }
 
     /// Current virtual time.
@@ -132,5 +141,34 @@ mod tests {
     #[should_panic]
     fn zero_rate_rejected() {
         TokenBucket::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn stalls_count_nonzero_waits_exactly() {
+        let mut tb = TokenBucket::new(10.0, 5.0);
+        let mut nonzero = 0u64;
+        for _ in 0..20 {
+            if tb.acquire() > 0.0 {
+                nonzero += 1;
+            }
+        }
+        assert_eq!(tb.total_stalls(), nonzero);
+        assert_eq!(nonzero, 15, "5 burst tokens, then every acquire stalls");
+    }
+
+    #[test]
+    fn burst_acquires_record_no_stalls() {
+        let mut tb = TokenBucket::new(100.0, 8.0);
+        for _ in 0..8 {
+            assert_eq!(tb.acquire(), 0.0);
+        }
+        assert_eq!(tb.total_stalls(), 0);
+        assert_eq!(tb.total_waited(), 0.0);
+        // A refill makes the next acquire free again.
+        tb.acquire();
+        assert_eq!(tb.total_stalls(), 1);
+        tb.advance(1.0);
+        assert_eq!(tb.acquire(), 0.0);
+        assert_eq!(tb.total_stalls(), 1, "refilled acquire is not a stall");
     }
 }

@@ -158,7 +158,7 @@ pub trait TargetGenerator {
 /// assert_eq!(out.len(), 100); // every TGA fills its budget
 /// ```
 pub fn build(id: TgaId) -> Box<dyn TargetGenerator> {
-    match id {
+    let inner: Box<dyn TargetGenerator> = match id {
         TgaId::SixSense => Box::new(six_sense::SixSense::default()),
         TgaId::Det => Box::new(det::Det::default()),
         TgaId::SixTree => Box::new(six_tree::SixTree::default()),
@@ -167,6 +167,51 @@ pub fn build(id: TgaId) -> Box<dyn TargetGenerator> {
         TgaId::SixGen => Box::new(six_gen::SixGen::default()),
         TgaId::SixHit => Box::new(six_hit::SixHit::default()),
         TgaId::EntropyIp => Box::new(entropy_ip::EntropyIp::default()),
+    };
+    Box::new(Instrumented { inner })
+}
+
+/// Transparent observability wrapper around any generator: every
+/// `generate` call runs inside a `generate` span and reports throughput
+/// (`tga.generated_addrs`, per-TGA counters, and the
+/// `tga.addrs_per_sec` histogram) without touching the address stream.
+struct Instrumented {
+    inner: Box<dyn TargetGenerator>,
+}
+
+impl TargetGenerator for Instrumented {
+    fn id(&self) -> TgaId {
+        self.inner.id()
+    }
+
+    fn generate(
+        &mut self,
+        seeds: &[Ipv6Addr],
+        cfg: &GenConfig,
+        oracle: &mut dyn ScanOracle,
+    ) -> Vec<Ipv6Addr> {
+        let label = self.inner.id().label();
+        let _span = sos_obs::span_detail(
+            "generate",
+            format!("tga={label} budget={} proto={:?}", cfg.budget, cfg.proto),
+        );
+        let start = sos_obs::now_s();
+        let packets_before = oracle.packets_sent();
+        let out = self.inner.generate(seeds, cfg, oracle);
+        let dur_s = sos_obs::now_s() - start;
+        let gen_packets = oracle.packets_sent() - packets_before;
+        sos_obs::counter("tga.generated_addrs").add(out.len() as u64);
+        sos_obs::counter(&format!("tga.{label}.generated_addrs")).add(out.len() as u64);
+        sos_obs::counter("tga.gen_packets").add(gen_packets);
+        if dur_s > 0.0 {
+            let rate = (out.len() as f64 / dur_s) as u64;
+            sos_obs::histogram("tga.addrs_per_sec").record(rate);
+            sos_obs::debug!(
+                "{label}: {} addrs in {dur_s:.3}s ({rate} addrs/s), {gen_packets} online pkts",
+                out.len(),
+            );
+        }
+        out
     }
 }
 
