@@ -1,0 +1,203 @@
+//! `sos-perf` — the wall-clock perf-regression harness.
+//!
+//! Runs the named benchmark suite in [`sos_bench::perf`] and writes the
+//! `BENCH_PR<N>.json` artifact; with `--baseline` it compares against a
+//! previous artifact and exits nonzero when any benchmark regresses past
+//! the `max(10%, 3×MAD)` noise band. See EXPERIMENTS.md for the schema
+//! and README.md for the workflow.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sos_bench::perf::{self, PerfConfig};
+use sos_obs::json::Json;
+
+fn usage() -> ! {
+    eprintln!(
+        "sos-perf: wall-clock benchmark suite with regression gating
+
+USAGE:
+    sos-perf [OPTIONS]
+
+OPTIONS:
+    --quick            reduced workloads + fewer reps (CI smoke runs)
+    --reps N           timed iterations per benchmark (default 7, quick 3)
+    --warmup N         discarded warmup iterations (default 2, quick 1)
+    --filter SUBSTR    only run benchmarks whose name contains SUBSTR
+    --out FILE         write results JSON to FILE
+    --pr N             shorthand for --out BENCH_PR<N>.json
+    --baseline FILE    compare against FILE; exit 1 on any regression
+    --list             print benchmark names and exit
+    -h, --help         show this help
+
+ENVIRONMENT:
+    SOS_PERF_SLOW=name:ms   artificially slow one benchmark (test hook)"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    cfg: PerfConfig,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    list: bool,
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let mut quick = false;
+    let mut reps: Option<usize> = None;
+    let mut warmup: Option<usize> = None;
+    let mut filter: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut list = false;
+
+    let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next().unwrap_or_else(|| {
+            eprintln!("sos-perf: {flag} needs a value");
+            std::process::exit(2)
+        })
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--reps" => reps = Some(parse_num(&need(&mut argv, "--reps"), "--reps")),
+            "--warmup" => warmup = Some(parse_num(&need(&mut argv, "--warmup"), "--warmup")),
+            "--filter" => filter = Some(need(&mut argv, "--filter")),
+            "--out" => out = Some(PathBuf::from(need(&mut argv, "--out"))),
+            "--pr" => {
+                let n: usize = parse_num(&need(&mut argv, "--pr"), "--pr");
+                out = Some(PathBuf::from(format!("BENCH_PR{n}.json")));
+            }
+            "--baseline" => baseline = Some(PathBuf::from(need(&mut argv, "--baseline"))),
+            "--list" => list = true,
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("sos-perf: unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+
+    let mut cfg = if quick { PerfConfig::quick() } else { PerfConfig::full() };
+    if let Some(r) = reps {
+        cfg.reps = r.max(1);
+    }
+    if let Some(w) = warmup {
+        cfg.warmup = w;
+    }
+    cfg.filter = filter;
+    if let Ok(spec) = std::env::var("SOS_PERF_SLOW") {
+        let Some((name, ms)) = spec.rsplit_once(':') else {
+            eprintln!("sos-perf: SOS_PERF_SLOW must be name:ms, got '{spec}'");
+            std::process::exit(2)
+        };
+        cfg.slow = Some((name.to_string(), parse_num(ms, "SOS_PERF_SLOW") as u64));
+    }
+    Args { cfg, out, baseline, list }
+}
+
+fn parse_num(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("sos-perf: {flag} needs an integer, got '{s}'");
+        std::process::exit(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if args.list {
+        for name in perf::bench_names(&args.cfg) {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        "sos-perf: {} warmup + {} reps per benchmark{}",
+        args.cfg.warmup,
+        args.cfg.reps,
+        if args.cfg.quick { " (quick)" } else { "" }
+    );
+    let results = perf::run_suite(&args.cfg);
+    if results.is_empty() {
+        eprintln!("sos-perf: no benchmarks matched the filter");
+        return ExitCode::from(2);
+    }
+
+    println!("{:<28} {:>12} {:>12} {:>12} {:>12}", "benchmark", "median", "mad", "min", "max");
+    for r in &results {
+        println!(
+            "{:<28} {:>11.3}ms {:>11.3}ms {:>11.3}ms {:>11.3}ms",
+            r.name,
+            r.median_s * 1e3,
+            r.mad_s * 1e3,
+            r.min_s * 1e3,
+            r.max_s * 1e3
+        );
+    }
+
+    if let Some(path) = &args.out {
+        let doc = perf::to_json(&results, &args.cfg);
+        if let Err(e) = std::fs::write(path, doc.to_string_pretty() + "\n") {
+            eprintln!("sos-perf: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("sos-perf: wrote {}", path.display());
+    }
+
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sos-perf: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("sos-perf: baseline {} is not valid JSON: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let report = match perf::compare(&baseline, &results) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("sos-perf: cannot compare: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!();
+        println!(
+            "{:<28} {:>12} {:>12} {:>10} {:>10}  verdict",
+            "vs baseline", "base", "current", "delta", "allowed"
+        );
+        for c in &report.comparisons {
+            println!(
+                "{:<28} {:>11.3}ms {:>11.3}ms {:>+9.1}% {:>9.1}%  {}",
+                c.name,
+                c.base_median_s * 1e3,
+                c.cur_median_s * 1e3,
+                100.0 * c.delta_s / c.base_median_s,
+                100.0 * c.threshold_s / c.base_median_s,
+                if c.regressed { "REGRESSED" } else { "ok" }
+            );
+        }
+        for name in &report.missing {
+            println!("{name:<28} missing from this run (baseline has it)");
+        }
+        for name in &report.added {
+            println!("{name:<28} new (no baseline entry)");
+        }
+        if report.has_regressions() {
+            eprintln!("sos-perf: FAIL — at least one benchmark regressed past max(10%, 3×MAD)");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("sos-perf: all benchmarks within the noise band");
+    }
+
+    ExitCode::SUCCESS
+}

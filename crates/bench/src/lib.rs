@@ -5,6 +5,8 @@
 //! at a reduced scale (tiny world, trimmed budgets) — Criterion needs many
 //! iterations, and the shapes being measured are scale-stable.
 
+pub mod perf;
+
 use std::sync::OnceLock;
 
 use sos_core::{Study, StudyConfig};

@@ -1,0 +1,130 @@
+//! Integration tests for the `sos-perf` binary: artifact writing,
+//! baseline comparison exit codes, and the regression gate tripping on an
+//! artificially slowed benchmark (the `SOS_PERF_SLOW` hook).
+//!
+//! All invocations filter to the `v6addr` benchmarks — the cheapest group
+//! — with minimal reps, so the whole file runs in a few seconds.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn sos_perf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sos-perf"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sos_perf_test_{}_{name}", std::process::id()))
+}
+
+fn run(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("spawn sos-perf");
+    eprintln!("--- stdout ---\n{}", String::from_utf8_lossy(&out.stdout));
+    eprintln!("--- stderr ---\n{}", String::from_utf8_lossy(&out.stderr));
+    out
+}
+
+/// Write a baseline artifact for the v6addr group and return its path.
+fn write_baseline(name: &str) -> PathBuf {
+    let path = tmp(name);
+    let out = run(sos_perf()
+        .args(["--quick", "--reps", "3", "--warmup", "1", "--filter", "v6addr"])
+        .arg("--out")
+        .arg(&path));
+    assert!(out.status.success(), "baseline run succeeds");
+    path
+}
+
+#[test]
+fn writes_a_parseable_artifact() {
+    let path = write_baseline("artifact.json");
+    let text = std::fs::read_to_string(&path).expect("artifact exists");
+    let doc = sos_obs::Json::parse(&text).expect("artifact is valid JSON");
+    assert_eq!(doc.get("tool").and_then(sos_obs::Json::as_str), Some("sos-perf"));
+    assert_eq!(
+        doc.get("schema_version").and_then(sos_obs::Json::as_u64),
+        Some(sos_bench::perf::SCHEMA_VERSION)
+    );
+    let benches = doc.get("benchmarks").expect("benchmarks section");
+    for name in ["v6addr/trie_insert", "v6addr/trie_lookup"] {
+        let b = benches.get(name).unwrap_or_else(|| panic!("{name} present"));
+        let median = b.get("median_s").and_then(sos_obs::Json::as_f64).expect("median_s");
+        assert!(median > 0.0, "{name} measured");
+        let samples = b.get("samples_s").and_then(sos_obs::Json::as_arr).expect("samples_s");
+        assert_eq!(samples.len(), 3, "{name}: one sample per rep");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unchanged_tree_passes_its_own_baseline() {
+    // Slow the benchmark identically in both runs so the 80ms sleep
+    // dominates the measurement — the comparison then reflects the
+    // harness logic, not machine load from concurrently running tests.
+    let path = tmp("self.json");
+    let args = ["--quick", "--reps", "3", "--warmup", "0", "--filter", "v6addr/trie_insert"];
+    let out = run(sos_perf()
+        .args(args)
+        .arg("--out")
+        .arg(&path)
+        .env("SOS_PERF_SLOW", "v6addr/trie_insert:80"));
+    assert!(out.status.success(), "baseline run succeeds");
+    let out = run(sos_perf()
+        .args(args)
+        .arg("--baseline")
+        .arg(&path)
+        .env("SOS_PERF_SLOW", "v6addr/trie_insert:80"));
+    assert!(out.status.success(), "same tree vs own baseline: exit 0");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("within the noise band"),
+        "reports a clean verdict"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn artificial_slowdown_trips_the_gate() {
+    let path = write_baseline("slow.json");
+    // 300ms of added latency on a ~milliseconds benchmark: far beyond
+    // max(10%, 3×MAD) however noisy the runner is.
+    let out = run(sos_perf()
+        .args(["--quick", "--reps", "3", "--warmup", "0", "--filter", "v6addr/trie_insert"])
+        .arg("--baseline")
+        .arg(&path)
+        .env("SOS_PERF_SLOW", "v6addr/trie_insert:300"));
+    assert_eq!(out.status.code(), Some(1), "regression exits 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.lines().any(|l| l.contains("v6addr/trie_insert") && l.contains("REGRESSED")),
+        "the slowed benchmark is flagged"
+    );
+    // The untouched benchmark is compared too (its own verdict can go
+    // either way under parallel-test machine load, so only presence is
+    // asserted).
+    assert!(stdout.contains("v6addr/trie_lookup"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bad_inputs_exit_with_usage_errors() {
+    // Unknown flags and absent baselines are usage errors (exit 2),
+    // distinct from the regression exit (1).
+    let out = run(sos_perf().arg("--no-such-flag"));
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(sos_perf()
+        .args(["--quick", "--reps", "1", "--warmup", "0", "--filter", "v6addr/trie_lookup"])
+        .arg("--baseline")
+        .arg(tmp("missing.json")));
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(sos_perf().args(["--quick", "--filter", "no-bench-matches-this"]));
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn list_prints_the_full_suite() {
+    let out = run(sos_perf().args(["--quick", "--list"]));
+    assert!(out.status.success());
+    let names: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert!(names.len() >= 12);
+    assert!(names.contains(&"probe/scan_icmp"));
+    assert!(names.contains(&"dealias/online_filter"));
+}

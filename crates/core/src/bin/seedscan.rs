@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! seedscan <experiment> [--scale tiny|small|study] [--seed N] [--budget N]
-//!          [--threads N] [--manifest FILE]
+//!          [--threads N] [--manifest FILE] [--trace FILE] [--flame FILE]
 //!
 //! experiments:
 //!   summary      Table 3 + Table 8 (dataset composition)
@@ -25,7 +25,10 @@
 //! phase timing). `--manifest FILE` writes a JSON run manifest with the
 //! full configuration, per-phase timings, engine counters, parallelism
 //! stats, and FNV-1a digests of every rendered result — two runs of the
-//! same configuration produce identical digests.
+//! same configuration produce identical digests. `--trace FILE` writes a
+//! Chrome trace-event timeline (load in Perfetto or `chrome://tracing`)
+//! with one lane per thread; `--flame FILE` writes self-time attribution
+//! in collapsed-stack format for flamegraph tooling.
 
 use std::cell::RefCell;
 use std::process::ExitCode;
@@ -41,6 +44,8 @@ struct Args {
     budget: Option<usize>,
     threads: Option<usize>,
     manifest: Option<String>,
+    trace: Option<String>,
+    flame: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +56,8 @@ fn parse_args() -> Result<Args, String> {
         budget: None,
         threads: None,
         manifest: None,
+        trace: None,
+        flame: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -80,6 +87,8 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--manifest" => args.manifest = Some(it.next().ok_or("--manifest needs a value")?),
+            "--trace" => args.trace = Some(it.next().ok_or("--trace needs a value")?),
+            "--flame" => args.flame = Some(it.next().ok_or("--flame needs a value")?),
             "--help" | "-h" => return Err(String::new()),
             other if args.experiment.is_empty() => args.experiment = other.to_string(),
             other => return Err(format!("unexpected argument: {other}")),
@@ -94,7 +103,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() {
     eprintln!(
         "usage: seedscan <experiment> [--scale tiny|small|study] [--seed N] [--budget N]\n\
-         \u{20}                [--threads N] [--manifest FILE]\n\
+         \u{20}                [--threads N] [--manifest FILE] [--trace FILE] [--flame FILE]\n\
          experiments: summary overlap rq1 rq2 rq3 rq4 appendix-d raw recommend as-kind budget-sweep export all\n\
          env: SOS_LOG=off|error|warn|info|debug|trace (stderr verbosity, default info)"
     );
@@ -305,6 +314,24 @@ fn main() -> ExitCode {
             Ok(()) => sos_obs::info!("wrote manifest {path}"),
             Err(e) => {
                 eprintln!("error: writing manifest {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = args.trace.as_deref() {
+        match sos_obs::trace::write_chrome_trace(std::path::Path::new(path)) {
+            Ok(()) => sos_obs::info!("wrote trace {path}"),
+            Err(e) => {
+                eprintln!("error: writing trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = args.flame.as_deref() {
+        match sos_obs::trace::write_collapsed(std::path::Path::new(path)) {
+            Ok(()) => sos_obs::info!("wrote flame profile {path}"),
+            Err(e) => {
+                eprintln!("error: writing flame profile {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -6,11 +6,13 @@
 //!
 //! ```text
 //! worldgen [--scale tiny|small|study] [--seed N] [--dump-dir DIR]
-//!          [--manifest FILE]
+//!          [--manifest FILE] [--trace FILE] [--flame FILE]
 //! ```
 //!
 //! `--manifest FILE` writes a JSON run manifest (configuration, world
 //! statistics, phase timings, digests of the dumped ground-truth lists);
+//! `--trace FILE` writes a Chrome trace-event timeline and `--flame FILE`
+//! a collapsed-stack self-time profile, exactly as in `seedscan`;
 //! `SOS_LOG` controls stderr verbosity exactly as in `seedscan`.
 
 use std::collections::BTreeMap;
@@ -26,6 +28,8 @@ fn main() -> ExitCode {
     let mut seed: u64 = 0xC0FFEE;
     let mut dump_dir: Option<String> = None;
     let mut manifest_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut flame_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -41,9 +45,12 @@ fn main() -> ExitCode {
             }
             "--dump-dir" => dump_dir = it.next(),
             "--manifest" => manifest_path = it.next(),
+            "--trace" => trace_path = it.next(),
+            "--flame" => flame_path = it.next(),
             other => {
                 eprintln!(
-                    "usage: worldgen [--scale tiny|small|study] [--seed N] [--dump-dir DIR] [--manifest FILE]"
+                    "usage: worldgen [--scale tiny|small|study] [--seed N] [--dump-dir DIR] \
+                     [--manifest FILE] [--trace FILE] [--flame FILE]"
                 );
                 eprintln!("unexpected argument: {other}");
                 return ExitCode::FAILURE;
@@ -177,6 +184,24 @@ fn main() -> ExitCode {
             Ok(()) => sos_obs::info!("wrote manifest {path}"),
             Err(e) => {
                 eprintln!("error: writing manifest {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = trace_path {
+        match sos_obs::trace::write_chrome_trace(std::path::Path::new(&path)) {
+            Ok(()) => sos_obs::info!("wrote trace {path}"),
+            Err(e) => {
+                eprintln!("error: writing trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = flame_path {
+        match sos_obs::trace::write_collapsed(std::path::Path::new(&path)) {
+            Ok(()) => sos_obs::info!("wrote flame profile {path}"),
+            Err(e) => {
+                eprintln!("error: writing flame profile {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -114,6 +114,7 @@ fn finish_stats(label: &str, threads: usize, start_s: f64, cells: Vec<ParCell>) 
     let stats = ParStats {
         label: label.to_string(),
         threads,
+        start_s,
         wall_s: sos_obs::now_s() - start_s,
         cells,
         workers,

@@ -22,6 +22,10 @@
 //!   counters/histograms, parallelism stats, and result digests into a
 //!   single JSON run manifest (`seedscan --manifest out.json`) — the
 //!   format benchmark trajectories consume.
+//! - [`trace`]: export recorded spans and `par_map` worker stats as
+//!   Chrome trace-event JSON (`--trace`, one timeline lane per thread)
+//!   and self-time attribution as collapsed stacks (`--flame`) for
+//!   flamegraph tooling.
 
 pub mod json;
 pub mod log;
@@ -30,6 +34,7 @@ pub mod metrics;
 pub mod par;
 pub mod progress;
 pub mod span;
+pub mod trace;
 
 pub use json::Json;
 pub use log::Level;

@@ -96,6 +96,9 @@ impl Manifest {
             h.set("max", snap.max);
             let mean = if snap.count > 0 { snap.sum as f64 / snap.count as f64 } else { 0.0 };
             h.set("mean", mean);
+            h.set("p50", snap.p50());
+            h.set("p90", snap.p90());
+            h.set("p99", snap.p99());
             h.set(
                 "buckets",
                 Json::Arr(
@@ -121,6 +124,7 @@ impl Manifest {
             s.set("total_s", agg.total_s);
             s.set("min_s", agg.min_s);
             s.set("max_s", agg.max_s);
+            s.set("self_s", agg.self_s);
             spans.set(&path, s);
         }
         root.set("spans", spans);
@@ -203,6 +207,20 @@ mod tests {
         assert!(doc.get("par_map").is_some());
         let text = doc.to_string_pretty();
         assert!(text.contains("\"elapsed_s\""));
+    }
+
+    #[test]
+    fn manifest_histograms_include_quantiles() {
+        crate::histogram("unit_manifest_quantile_hist").record(100);
+        let doc = Manifest::new("unit-test").finish();
+        let h = doc
+            .get("histograms")
+            .and_then(|hs| hs.get("unit_manifest_quantile_hist"))
+            .expect("histogram serialized");
+        for key in ["p50", "p90", "p99"] {
+            let v = h.get(key).and_then(crate::json::Json::as_u64).expect(key);
+            assert!((64..=127).contains(&v), "{key} = {v} outside 100's bucket");
+        }
     }
 
     #[test]

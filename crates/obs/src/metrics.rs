@@ -78,6 +78,51 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) from the log₂ buckets:
+    /// walk the cumulative counts to the bucket holding rank `q·count`,
+    /// then interpolate linearly inside it. Buckets double in width, so
+    /// the estimate is exact at bucket boundaries and within one octave
+    /// (≤ 2×) everywhere else — the right precision for latency tails,
+    /// where the bucket ordering, not the third digit, is the signal.
+    /// Clamped to the observed max; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for &(le, n) in &self.buckets {
+            let before = cum as f64;
+            cum += n;
+            if cum as f64 >= target {
+                // bucket i covers [2^(i−1), 2^i); le = 2^i − 1, so the
+                // inclusive lower bound is (le >> 1) + 1 (0 for bucket 0)
+                let lower = if le == 0 { 0.0 } else { ((le >> 1) + 1) as f64 };
+                let frac = if n == 0 { 0.0 } else { (target - before) / n as f64 };
+                let est = lower + frac * (le as f64 - lower);
+                return (est.round() as u64).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`quantile`](HistogramSnapshot::quantile)).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
 impl Histogram {
     /// A fresh empty histogram.
     pub fn new() -> Self {
@@ -294,6 +339,45 @@ mod tests {
         let h = Histogram::new();
         h.record_seconds_as_us(0.001_5);
         assert_eq!(h.sum(), 1_500);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new();
+        // 100 observations of 1000 → every quantile lands in the
+        // [512, 1023] bucket.
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        for q in [0.5, 0.9, 0.99] {
+            let est = s.quantile(q);
+            assert!((512..=1023).contains(&est), "q={q}: {est} outside bucket");
+        }
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99(), "quantiles are monotone");
+    }
+
+    #[test]
+    fn quantiles_split_bimodal_distributions() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(4); // [4,7] bucket
+        }
+        for _ in 0..10 {
+            h.record(1 << 20); // tail bucket
+        }
+        let s = h.snapshot();
+        assert!(s.p50() <= 7, "median in the low mode, got {}", s.p50());
+        assert!(s.p99() >= 1 << 19, "p99 in the tail, got {}", s.p99());
+        assert!(s.p99() <= s.max);
+    }
+
+    #[test]
+    fn quantiles_of_empty_and_zero_histograms() {
+        assert_eq!(Histogram::new().snapshot().quantile(0.5), 0);
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.snapshot().p99(), 0, "all-zero observations quantile to 0");
     }
 
     #[test]

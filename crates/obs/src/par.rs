@@ -41,6 +41,10 @@ pub struct ParStats {
     pub label: String,
     /// Worker threads used.
     pub threads: usize,
+    /// Call start, seconds since process clock origin (`wait_s`/`exec_s`
+    /// in [`ParCell`] are relative to this, so `start_s + wait_s` places
+    /// an item on the absolute trace timeline).
+    pub start_s: f64,
     /// Wall-clock seconds for the whole call.
     pub wall_s: f64,
     /// Per-item timings, in input order.
@@ -66,6 +70,7 @@ impl ParStats {
         let mut o = Json::obj();
         o.set("label", self.label.as_str());
         o.set("threads", self.threads);
+        o.set("start_s", self.start_s);
         o.set("wall_s", self.wall_s);
         o.set("utilization", self.utilization());
         o.set(
@@ -127,6 +132,7 @@ mod tests {
         ParStats {
             label: "unit".into(),
             threads: 2,
+            start_s: 0.0,
             wall_s: 2.0,
             cells: vec![
                 ParCell { index: 0, wait_s: 0.0, exec_s: 1.0, worker: 0 },
@@ -147,6 +153,7 @@ mod tests {
         let empty = ParStats {
             label: String::new(),
             threads: 0,
+            start_s: 0.0,
             wall_s: 0.0,
             cells: vec![],
             workers: vec![],

@@ -12,6 +12,7 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::log::{enabled, Level};
@@ -27,6 +28,9 @@ pub struct SpanRecord {
     pub start_s: f64,
     /// Wall-clock duration in seconds.
     pub dur_s: f64,
+    /// Compact id of the thread that ran the span (0 = first thread that
+    /// recorded anything; trace export maps each id to a timeline lane).
+    pub tid: u64,
 }
 
 /// Aggregate statistics over all occurrences of one span path.
@@ -34,16 +38,28 @@ pub struct SpanRecord {
 pub struct SpanAgg {
     /// Number of occurrences.
     pub count: u64,
-    /// Total seconds across occurrences.
+    /// Total seconds across occurrences (inclusive of child spans).
     pub total_s: f64,
     /// Fastest occurrence.
     pub min_s: f64,
     /// Slowest occurrence.
     pub max_s: f64,
+    /// Exclusive ("self") seconds: total minus time spent in child spans.
+    /// This is the number that ranks hot paths — a parent that only
+    /// dispatches has near-zero self time however long it runs.
+    pub self_s: f64,
 }
 
 thread_local! {
     static STACK: RefCell<Vec<(&'static str, String)>> = const { RefCell::new(Vec::new()) };
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+/// Compact id of the calling thread, assigned on first use in span order.
+pub fn thread_id() -> u64 {
+    TID.with(|t| *t)
 }
 
 static RECORDS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
@@ -98,6 +114,7 @@ impl Drop for Span {
             detail: std::mem::take(&mut self.detail),
             start_s: self.start_s,
             dur_s,
+            tid: thread_id(),
         });
     }
 }
@@ -116,20 +133,62 @@ pub fn records() -> Vec<SpanRecord> {
     RECORDS.lock().expect("span records").clone()
 }
 
-/// Aggregate recorded spans by path.
+/// Exclusive ("self") seconds for each record: its duration minus the
+/// durations of its direct children. A record is a direct child of the
+/// innermost same-thread record whose path is one segment shorter, whose
+/// name prefix matches, and whose interval contains it. Returned in the
+/// same order as `records`; values are clamped at zero against float
+/// rounding.
+pub fn self_times(records: &[SpanRecord]) -> Vec<f64> {
+    const EPS: f64 = 1e-9;
+    let mut self_s: Vec<f64> = records.iter().map(|r| r.dur_s).collect();
+    for (ci, c) in records.iter().enumerate() {
+        let Some(cut) = c.path.rfind('>') else { continue };
+        let parent_path = &c.path[..cut];
+        let c_end = c.start_s + c.dur_s;
+        // Innermost (shortest) enclosing instance of the parent path on
+        // the same thread: repeated instances of one path (grid cells)
+        // are disambiguated by interval containment.
+        let mut best: Option<usize> = None;
+        for (pi, p) in records.iter().enumerate() {
+            if pi == ci || p.tid != c.tid || p.path != parent_path {
+                continue;
+            }
+            if p.start_s <= c.start_s + EPS && c_end <= p.start_s + p.dur_s + EPS {
+                best = match best {
+                    Some(b) if records[b].dur_s <= p.dur_s => Some(b),
+                    _ => Some(pi),
+                };
+            }
+        }
+        if let Some(pi) = best {
+            self_s[pi] -= c.dur_s;
+        }
+    }
+    for s in &mut self_s {
+        *s = s.max(0.0);
+    }
+    self_s
+}
+
+/// Aggregate recorded spans by path, including self-time attribution.
 pub fn aggregate() -> BTreeMap<String, SpanAgg> {
+    let records = records();
+    let selfs = self_times(&records);
     let mut out: BTreeMap<String, SpanAgg> = BTreeMap::new();
-    for r in RECORDS.lock().expect("span records").iter() {
+    for (r, &self_dur) in records.iter().zip(selfs.iter()) {
         let e = out.entry(r.path.clone()).or_insert(SpanAgg {
             count: 0,
             total_s: 0.0,
             min_s: f64::INFINITY,
             max_s: 0.0,
+            self_s: 0.0,
         });
         e.count += 1;
         e.total_s += r.dur_s;
         e.min_s = e.min_s.min(r.dur_s);
         e.max_s = e.max_s.max(r.dur_s);
+        e.self_s += self_dur;
     }
     out
 }
@@ -176,6 +235,66 @@ mod tests {
         assert!(a.count >= 3);
         assert!(a.min_s <= a.max_s);
         assert!(a.total_s >= a.max_s);
+    }
+
+    fn rec(path: &str, start_s: f64, dur_s: f64, tid: u64) -> SpanRecord {
+        SpanRecord {
+            path: path.into(),
+            detail: String::new(),
+            start_s,
+            dur_s,
+            tid,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        // a [0,10] contains a>b [1,4] and a>b [5,8]; a>b>c [2,3] belongs
+        // to the first b instance, not to a.
+        let records = vec![
+            rec("a", 0.0, 10.0, 0),
+            rec("a>b", 1.0, 3.0, 0),
+            rec("a>b>c", 2.0, 1.0, 0),
+            rec("a>b", 5.0, 3.0, 0),
+        ];
+        let s = self_times(&records);
+        assert!((s[0] - 4.0).abs() < 1e-9, "a: 10 - 3 - 3 = 4, got {}", s[0]);
+        assert!((s[1] - 2.0).abs() < 1e-9, "first b: 3 - 1 = 2");
+        assert!((s[2] - 1.0).abs() < 1e-9, "c is a leaf");
+        assert!((s[3] - 3.0).abs() < 1e-9, "second b has no children");
+    }
+
+    #[test]
+    fn self_time_ignores_other_threads() {
+        let records = vec![rec("a", 0.0, 10.0, 0), rec("a>b", 1.0, 3.0, 1)];
+        let s = self_times(&records);
+        assert!((s[0] - 10.0).abs() < 1e-9, "child on another thread is not ours");
+    }
+
+    #[test]
+    fn aggregate_reports_self_time() {
+        clear();
+        {
+            let _outer = span("selfagg_outer_test");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _inner = span("selfagg_inner_test");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let agg = aggregate();
+        let outer = agg.get("selfagg_outer_test").expect("outer aggregated");
+        let inner = agg.get("selfagg_outer_test>selfagg_inner_test").expect("inner");
+        assert!(outer.self_s < outer.total_s, "outer excludes inner's time");
+        assert!((inner.self_s - inner.total_s).abs() < 1e-9, "leaf: self == total");
+        let sum = outer.self_s + inner.self_s;
+        assert!((sum - outer.total_s).abs() < 1e-3, "self times partition the root");
+    }
+
+    #[test]
+    fn records_carry_thread_ids() {
+        let main_tid = thread_id();
+        let worker_tid = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(main_tid, worker_tid, "each thread gets its own lane id");
+        assert_eq!(thread_id(), main_tid, "ids are stable per thread");
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! End-to-end trace export: run the real `seedscan` binary on a tiny
+//! study with `--trace`, `--flame`, and `--manifest`, then validate the
+//! artifacts against each other — the trace parses as trace-event JSON,
+//! spans nest properly on their lanes, and every `par_map` invocation in
+//! the manifest appears in the trace with one lane per worker.
+
+use std::path::PathBuf;
+
+use sos_obs::Json;
+
+struct Artifacts {
+    trace: Json,
+    manifest: Json,
+    flame: String,
+}
+
+fn run_seedscan() -> Artifacts {
+    let dir = std::env::temp_dir().join(format!("sos_trace_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = |name: &str| -> PathBuf { dir.join(name) };
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_seedscan"))
+        .args(["rq1", "--scale", "tiny", "--threads", "2", "--budget", "300"])
+        .arg("--trace")
+        .arg(path("trace.json"))
+        .arg("--flame")
+        .arg(path("flame.txt"))
+        .arg("--manifest")
+        .arg(path("manifest.json"))
+        .output()
+        .expect("run seedscan");
+    assert!(
+        out.status.success(),
+        "seedscan failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let read = |name: &str| std::fs::read_to_string(path(name)).expect(name);
+    let arts = Artifacts {
+        trace: Json::parse(&read("trace.json")).expect("trace parses"),
+        manifest: Json::parse(&read("manifest.json")).expect("manifest parses"),
+        flame: read("flame.txt"),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    arts
+}
+
+#[test]
+fn seedscan_trace_is_valid_and_consistent_with_the_manifest() {
+    let arts = run_seedscan();
+    let events = arts
+        .trace
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(
+        arts.trace.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+
+    let f = |e: &Json, k: &str| e.get(k).and_then(Json::as_f64).unwrap();
+    fn s<'a>(e: &'a Json, k: &str) -> Option<&'a str> {
+        e.get(k).and_then(Json::as_str)
+    }
+
+    // --- spans: present, well-formed, and nested ---
+    let spans: Vec<&Json> =
+        events.iter().filter(|e| s(e, "cat") == Some("span")).collect();
+    assert!(!spans.is_empty(), "a real run records spans");
+    fn path_of(e: &Json) -> &str {
+        e.get("args").and_then(|a| a.get("path")).and_then(Json::as_str).expect("path arg")
+    }
+    for e in &spans {
+        assert_eq!(s(e, "ph"), Some("X"));
+        assert!(f(e, "dur") >= 0.0);
+        // the event name is the last path segment
+        assert_eq!(s(e, "name"), path_of(e).rsplit('>').next());
+    }
+    // the study build's phase structure shows up as nested paths, and each
+    // child's interval lies within some same-lane parent instance
+    let child_paths: Vec<&str> =
+        spans.iter().map(|e| path_of(e)).filter(|p| p.contains('>')).collect();
+    assert!(child_paths.contains(&"study_build>world_build"), "{child_paths:?}");
+    let mut checked = 0;
+    for c in &spans {
+        let p = path_of(c);
+        let Some(cut) = p.rfind('>') else { continue };
+        let parent = &p[..cut];
+        let enclosed = spans.iter().any(|q| {
+            path_of(q) == parent
+                && q.get("tid") == c.get("tid")
+                && f(q, "ts") <= f(c, "ts") + 1.0
+                && f(c, "ts") + f(c, "dur") <= f(q, "ts") + f(q, "dur") + 1.0
+        });
+        assert!(enclosed, "span {p} has no enclosing parent instance");
+        checked += 1;
+    }
+    assert!(checked > 0, "at least one nested span was validated");
+
+    // --- par lanes: one per worker, matching the manifest's stats ---
+    let par_stats = arts
+        .manifest
+        .get("par_map")
+        .and_then(Json::as_arr)
+        .expect("manifest par_map");
+    assert!(!par_stats.is_empty(), "threads=2 grid records par stats");
+    let par_events: Vec<&Json> =
+        events.iter().filter(|e| s(e, "cat") == Some("par")).collect();
+    for (k, stats) in par_stats.iter().enumerate() {
+        let pid = 100 + k as u64; // PAR_PID_BASE + invocation index
+        let workers = stats.get("workers").and_then(Json::as_arr).expect("workers").len();
+        let cells = stats.get("cells").and_then(Json::as_arr).expect("cells").len();
+        let mine: Vec<&&Json> = par_events
+            .iter()
+            .filter(|e| e.get("pid").and_then(Json::as_u64) == Some(pid))
+            .collect();
+        assert_eq!(mine.len(), cells, "invocation {k}: one event per cell");
+        let mut lanes: Vec<u64> =
+            mine.iter().map(|e| e.get("tid").and_then(Json::as_u64).unwrap()).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        assert_eq!(lanes.len(), workers, "invocation {k}: one lane per worker");
+        // lane metadata names each worker
+        for w in 0..workers {
+            let named = events.iter().any(|e| {
+                s(e, "name") == Some("thread_name")
+                    && e.get("pid").and_then(Json::as_u64) == Some(pid)
+                    && e.get("args").and_then(|a| a.get("name")).and_then(Json::as_str)
+                        == Some(&format!("worker-{w}"))
+            });
+            assert!(named, "invocation {k}: worker-{w} lane is named");
+        }
+    }
+
+    // --- flame profile: parseable collapsed stacks with positive weights ---
+    assert!(!arts.flame.is_empty());
+    for line in arts.flame.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("stack weight");
+        assert!(!stack.is_empty());
+        assert!(weight.parse::<u64>().expect("integer µs") > 0);
+    }
+    assert!(
+        arts.flame.lines().any(|l| l.starts_with("study_build;")),
+        "self-time attributed below the study build"
+    );
+}
