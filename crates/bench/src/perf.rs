@@ -127,21 +127,40 @@ pub fn suite(cfg: &PerfConfig) -> Vec<(String, Box<dyn FnMut() + '_>)> {
         ));
     }
 
-    // Probe-engine throughput over a live/dead/aliased target mix.
-    let scan_n = if cfg.quick { 512 } else { 2048 };
+    // Probe-engine throughput over a live/dead/aliased target mix. One
+    // shared workload for the sequential wire path and the sharded
+    // pipeline, so the `scan_parallel_*` medians read directly as speedup
+    // over `probe/scan_icmp` (grown to 8192 targets in PR 4 so each of 8
+    // shards still carries a meaningful slice).
+    let scan_n = if cfg.quick { 512 } else { 8192 };
     let mut targets: Vec<Ipv6Addr> =
         study.world().hosts().iter().map(|(a, _)| a).step_by(3).take(scan_n / 2).collect();
     targets.extend((0..(scan_n - targets.len()) as u128).map(|i| {
         Ipv6Addr::from((0x3fff_u128 << 112) | i) // dead space
     }));
-    benches.push((
-        "probe/scan_icmp".to_string(),
-        Box::new(move || {
-            let mut scanner = bench_study().scanner(0x5ca9);
-            let report = scanner.scan(targets.iter().copied(), Protocol::Icmp);
-            assert!(report.probed > 0);
-        }),
-    ));
+    {
+        let targets = targets.clone();
+        benches.push((
+            "probe/scan_icmp".to_string(),
+            Box::new(move || {
+                let mut scanner = bench_study().scanner(0x5ca9);
+                let report = scanner.scan(targets.iter().copied(), Protocol::Icmp);
+                assert!(report.probed > 0);
+            }),
+        ));
+    }
+    for shards in [1usize, 4, 8] {
+        let targets = targets.clone();
+        benches.push((
+            format!("probe/scan_parallel_{shards}"),
+            Box::new(move || {
+                let mut scanner = bench_study().scanner(0x5ca9);
+                let report =
+                    scanner.scan_parallel(targets.iter().copied(), Protocol::Icmp, shards);
+                assert!(report.probed > 0);
+            }),
+        ));
+    }
 
     // Offline dealiasing: longest-prefix partition of the full seed set.
     let full: Vec<Ipv6Addr> = study.pipeline().full.clone();
@@ -449,7 +468,10 @@ mod tests {
     #[test]
     fn suite_names_are_stable_and_prefixed() {
         let names = bench_names(&PerfConfig::quick());
-        assert!(names.len() >= 12, "8 TGAs + probe + 2 dealias + 2 trie");
+        assert!(names.len() >= 15, "8 TGAs + 4 probe + 2 dealias + 2 trie");
+        for shards in [1, 4, 8] {
+            assert!(names.contains(&format!("probe/scan_parallel_{shards}")));
+        }
         for n in &names {
             assert!(
                 n.starts_with("gen/")

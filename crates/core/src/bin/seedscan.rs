@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! seedscan <experiment> [--scale tiny|small|study] [--seed N] [--budget N]
-//!          [--threads N] [--manifest FILE] [--trace FILE] [--flame FILE]
+//!          [--threads N] [--scan-shards N] [--manifest FILE] [--trace FILE]
+//!          [--flame FILE]
 //!
 //! experiments:
 //!   summary      Table 3 + Table 8 (dataset composition)
@@ -43,6 +44,7 @@ struct Args {
     seed: u64,
     budget: Option<usize>,
     threads: Option<usize>,
+    scan_shards: Option<usize>,
     manifest: Option<String>,
     trace: Option<String>,
     flame: Option<String>,
@@ -55,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 0xC0FFEE,
         budget: None,
         threads: None,
+        scan_shards: None,
         manifest: None,
         trace: None,
         flame: None,
@@ -86,6 +89,14 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad thread count: {e}"))?,
                 )
             }
+            "--scan-shards" => {
+                args.scan_shards = Some(
+                    it.next()
+                        .ok_or("--scan-shards needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad shard count: {e}"))?,
+                )
+            }
             "--manifest" => args.manifest = Some(it.next().ok_or("--manifest needs a value")?),
             "--trace" => args.trace = Some(it.next().ok_or("--trace needs a value")?),
             "--flame" => args.flame = Some(it.next().ok_or("--flame needs a value")?),
@@ -103,7 +114,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() {
     eprintln!(
         "usage: seedscan <experiment> [--scale tiny|small|study] [--seed N] [--budget N]\n\
-         \u{20}                [--threads N] [--manifest FILE] [--trace FILE] [--flame FILE]\n\
+         \u{20}                [--threads N] [--scan-shards N] [--manifest FILE] [--trace FILE] [--flame FILE]\n\
          experiments: summary overlap rq1 rq2 rq3 rq4 appendix-d raw recommend as-kind budget-sweep export all\n\
          env: SOS_LOG=off|error|warn|info|debug|trace (stderr verbosity, default info)"
     );
@@ -135,6 +146,9 @@ fn main() -> ExitCode {
         cfg.budget = b;
     }
     cfg.threads = args.threads;
+    // Scan sharding follows `--threads` unless `--scan-shards` says
+    // otherwise; either way results are bit-identical to shards = 1.
+    cfg.scan_shards = args.scan_shards.or(args.threads).unwrap_or(cfg.scan_shards).max(1);
 
     let manifest = RefCell::new(Manifest::new("seedscan"));
     {
@@ -144,6 +158,7 @@ fn main() -> ExitCode {
         m.config("seed", args.seed);
         m.config("budget", cfg.budget);
         m.config("threads", cfg.effective_threads());
+        m.config("scan_shards", cfg.scan_shards);
         m.config("scan_retries", cfg.scan_retries);
         m.config("gen_seed", cfg.gen_seed);
     }

@@ -18,6 +18,10 @@ pub struct StudyConfig {
     pub gen_seed: u64,
     /// Scanner retransmissions after the first attempt.
     pub scan_retries: u32,
+    /// Worker shards for each scan pass (`Scanner::scan_parallel`). With
+    /// 1 the sequential wire path runs; results are bit-identical either
+    /// way, the shards only split the pps budget and the wall clock.
+    pub scan_shards: usize,
     /// Run independent (tga × port) experiment cells on worker threads.
     pub parallel: bool,
     /// Explicit worker-thread count for experiment grids (`--threads`).
@@ -36,6 +40,7 @@ impl StudyConfig {
             big_budget_multiplier: 12,
             gen_seed: seed ^ 0x9e4,
             scan_retries: 1,
+            scan_shards: 1,
             parallel: true,
             threads: None,
         }

@@ -62,7 +62,10 @@ where
                 r
             })
             .collect();
-        return (results, finish_stats(label, 1, start, cells));
+        // Degenerate inputs (n <= 1) still report the *requested* worker
+        // count: manifests must show what the caller asked for, with the
+        // unused workers visible as idle, not silently collapse to 1.
+        return (results, finish_stats(label, threads.max(1), start, cells));
     }
 
     let workers = threads.min(n);
@@ -188,6 +191,24 @@ mod tests {
         assert_eq!(stats.threads, 1);
         assert_eq!(stats.workers.len(), 1);
         assert_eq!(stats.workers[0].items, 3);
+    }
+
+    #[test]
+    fn degenerate_input_reports_requested_workers() {
+        // A single item with N threads requested must not masquerade as a
+        // single-threaded invocation: stats record the requested width,
+        // with the surplus workers present and idle.
+        let (r, stats) = par_map_stats(vec![7], 16, "degenerate_test", |x| x * x);
+        assert_eq!(r, vec![49]);
+        assert_eq!(stats.threads, 16, "requested worker count is reported");
+        assert_eq!(stats.workers.len(), 16);
+        assert_eq!(stats.workers[0].items, 1);
+        assert!(stats.workers[1..].iter().all(|w| w.items == 0 && w.busy_s == 0.0));
+
+        // The empty grid keeps the same convention.
+        let (_, stats) = par_map_stats(Vec::<i32>::new(), 4, "degenerate_empty", |x| x);
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.workers.len(), 4);
     }
 
     #[test]

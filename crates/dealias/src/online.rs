@@ -108,13 +108,16 @@ impl OnlineDealiaser {
         let mut rng = SmallRng::seed_from_u64(seed);
         let before = oracle.packets_sent();
         let mut active = 0usize;
-        for _ in 0..self.cfg.probes {
+        for i in 0..self.cfg.probes {
             let probe_addr = rand_in_prefix(&prefix, &mut rng);
             if oracle.probe(probe_addr, proto) {
                 active += 1;
             }
-            // Early exit once the verdict is decided either way.
-            if active >= self.cfg.threshold {
+            // Early exit once the verdict is decided either way: the
+            // threshold is reached (aliased), or it is unreachable even
+            // if every remaining probe answered (clean).
+            let remaining = self.cfg.probes - i - 1;
+            if active >= self.cfg.threshold || active + remaining < self.cfg.threshold {
                 break;
             }
         }
@@ -182,6 +185,27 @@ mod tests {
         assert!(!d.check(&mut o, "2001:db8::1".parse().unwrap(), Protocol::Icmp));
         assert_eq!(d.decided_prefixes(), 1);
         assert!(d.probe_packets() > 0);
+    }
+
+    #[test]
+    fn silent_prefix_short_circuits_once_threshold_is_unreachable() {
+        // §4.2 defaults: 3 probes, threshold 2. For an all-silent prefix
+        // the verdict is settled after the *second* silent probe (even a
+        // hit on the third could not reach 2), so exactly 2 of the 3
+        // probes are spent. NullOracle answers nothing and counts one
+        // packet per probe.
+        let mut d = OnlineDealiaser::new(OnlineConfig::default());
+        let mut o = NullOracle::default();
+        assert!(!d.check(&mut o, "2001:db8:1::1".parse().unwrap(), Protocol::Icmp));
+        assert_eq!(o.packets_sent(), 2, "negative verdict must exit early");
+        assert_eq!(d.probe_packets(), 2);
+
+        // With threshold == probes, one silent probe settles it.
+        let cfg = OnlineConfig { probes: 3, threshold: 3, ..OnlineConfig::default() };
+        let mut d = OnlineDealiaser::new(cfg);
+        let mut o = NullOracle::default();
+        assert!(!d.check(&mut o, "2001:db8:2::1".parse().unwrap(), Protocol::Icmp));
+        assert_eq!(o.packets_sent(), 1);
     }
 
     #[test]

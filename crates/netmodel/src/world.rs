@@ -276,10 +276,11 @@ impl World {
             return ProbeReply::Timeout;
         }
 
-        // 4. Unoccupied space: routed prefixes sometimes emit unreachables
-        //    for ICMP probes; everything else is silence.
-        if proto == Protocol::Icmp
-            && self.registry.asn_of(addr).is_some()
+        // 4. Unoccupied space: routed prefixes sometimes emit unreachables;
+        //    everything else is silence. The reporting router quotes
+        //    whatever packet invoked the error (RFC 4443 §3.1), so the
+        //    decision is per address, independent of probe protocol.
+        if self.registry.asn_of(addr).is_some()
             && chance(mix2(self.cfg.seed, 0xDE57), bits, self.cfg.unreachable_rate)
         {
             return ProbeReply::DstUnreachable;
@@ -357,5 +358,34 @@ mod tests {
         let live = (0..n).filter(|&i| mega.responds(7, mega.address(i))).count();
         let rate = live as f64 / n as f64;
         assert!((rate - 0.35).abs() < 0.01, "rate {rate}");
+    }
+
+    /// Regression (PR 4): unreachables were gated on `proto == Icmp`, so
+    /// TCP/UDP scans could never observe them. The decision is per
+    /// address; the router answers whatever probe invoked the error.
+    #[test]
+    fn unreachables_are_protocol_independent() {
+        let w = World::build(WorldConfig::tiny(31));
+        let (base, _) = w.hosts().iter().next().expect("hosts exist");
+        let net = u128::from(base) & !0xffffu128;
+        let hole = (0..200_000u128)
+            .map(|i| Ipv6Addr::from(net | (0xa000 + i)))
+            .find(|&a| {
+                w.hosts().get(a).is_none()
+                    && !w.is_aliased(a)
+                    && matches!(w.probe(a, Protocol::Icmp, 0), ProbeReply::DstUnreachable)
+            })
+            .expect("some routed hole emits unreachables");
+        for proto in crate::PROTOCOLS {
+            assert!(
+                matches!(w.probe(hole, proto, 0), ProbeReply::DstUnreachable),
+                "{proto:?} probes elicit the same unreachable"
+            );
+        }
+        // Unrouted space stays silent on every protocol.
+        let dark: Ipv6Addr = "3fff:ffff::1".parse().unwrap();
+        for proto in crate::PROTOCOLS {
+            assert!(matches!(w.probe(dark, proto, 0), ProbeReply::Timeout));
+        }
     }
 }

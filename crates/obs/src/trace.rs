@@ -207,7 +207,7 @@ mod tests {
     #[test]
     fn par_invocations_get_one_lane_per_worker() {
         let stats = sample_par();
-        let doc = chrome_trace(&[], &[stats.clone()]);
+        let doc = chrome_trace(&[], std::slice::from_ref(&stats));
         let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
         let mut lanes: Vec<u64> = events
             .iter()

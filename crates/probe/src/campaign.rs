@@ -83,14 +83,42 @@ impl<'a, T: Transport> Campaign<'a, T> {
         for &proto in &self.protocols {
             let _span = sos_obs::span_detail("scan", format!("proto={proto:?}"));
             let report = self.scanner.scan(targets.iter().copied(), proto);
-            for &hit in &report.hits {
-                result
-                    .responsive
-                    .entry(u128::from(hit))
-                    .or_insert(PortSet::EMPTY)
-                    .insert(proto);
-            }
-            result.reports.push((proto, report));
+            Self::merge(&mut result, proto, report);
+        }
+        result
+    }
+
+    fn merge(result: &mut CampaignResult, proto: Protocol, report: ScanReport) {
+        for &hit in &report.hits {
+            result
+                .responsive
+                .entry(u128::from(hit))
+                .or_insert(PortSet::EMPTY)
+                .insert(proto);
+        }
+        result.reports.push((proto, report));
+    }
+}
+
+impl<'a, T: Transport + Clone + Send> Campaign<'a, T> {
+    /// Run the campaign's protocols **concurrently**, each sharded
+    /// `shards` ways: the target list is deduplicated and
+    /// blocklist-filtered once, then `protocols × shards` workers probe
+    /// in parallel, each with its own transport clone and a slice of the
+    /// scanner's pps budget. The merged result and every per-protocol
+    /// report are bit-identical to [`Campaign::run`] on the same world
+    /// state (asserted by the probe crate's integration tests).
+    pub fn run_parallel(&mut self, targets: &[Ipv6Addr], shards: usize) -> CampaignResult {
+        let _span = sos_obs::span_detail(
+            "campaign",
+            format!("protos={} shards={shards}", self.protocols.len()),
+        );
+        let reports =
+            self.scanner
+                .scan_parallel_multi(targets.iter().copied(), &self.protocols, shards);
+        let mut result = CampaignResult::default();
+        for (proto, report) in reports {
+            Self::merge(&mut result, proto, report);
         }
         result
     }

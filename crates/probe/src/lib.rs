@@ -31,11 +31,11 @@ pub mod sim;
 pub mod transport;
 
 pub use campaign::{Campaign, CampaignResult};
-pub use engine::{ScanReport, Scanner, ScannerConfig};
+pub use engine::{ProbeOutcome, ScanReport, Scanner, ScannerConfig};
 pub use metrics::EngineMetrics;
 pub use oracle::{NullOracle, ScanOracle};
 pub use packet::{build_probe, parse_packet, PacketError, ParsedPacket};
 pub use pcap::{CapturingTransport, PcapWriter};
 pub use ratelimit::TokenBucket;
 pub use sim::SimTransport;
-pub use transport::Transport;
+pub use transport::{Attempt, Burst, ProbeSpec, Transport};

@@ -5,15 +5,39 @@
 //! in simulation it advances a *virtual* clock (so experiments report how
 //! long a scan *would* take without actually sleeping), and a real
 //! deployment would sleep for the returned durations.
+//!
+//! # The `acquire`/`advance` contract
+//!
+//! Tokens accrue continuously at `rate` per virtual second, capped at
+//! `burst`. The virtual clock `now` moves in exactly two ways:
+//!
+//! - [`TokenBucket::acquire`] — takes one token. If none is available it
+//!   advances `now` by the time one token takes to accrue and reports that
+//!   wait. Accrual since the last refill is credited *lazily here*,
+//!   against `now`, so time injected by `advance` is never lost.
+//! - [`TokenBucket::advance`] — injects `dt` seconds of virtual time spent
+//!   *outside* the limiter (e.g. response processing). It only moves the
+//!   clock; the matching refill is computed on the next `acquire` /
+//!   [`TokenBucket::available`] call.
+//!
+//! Under this contract a sequence of interleaved `advance` and `acquire`
+//! calls can never mint more than `burst` tokens of headroom, no matter
+//! how the calls are sliced — the invariant the per-shard budget split in
+//! [`crate::engine::Scanner::scan_parallel`] relies on when it carves one
+//! global pps budget into `rate / shards` buckets.
 
 /// A token bucket: `rate` tokens/second, capacity `burst`.
 #[derive(Debug, Clone)]
 pub struct TokenBucket {
     rate: f64,
     burst: f64,
+    /// Tokens as of `refilled_at`; the live balance additionally includes
+    /// everything accrued between `refilled_at` and `now`.
     tokens: f64,
     /// Virtual time in seconds since the limiter was created.
     now: f64,
+    /// Virtual timestamp at which `tokens` was last made exact.
+    refilled_at: f64,
     /// Total virtual time spent waiting.
     waited: f64,
     /// Number of acquires that had to wait for a token.
@@ -33,6 +57,7 @@ impl TokenBucket {
             burst,
             tokens: burst,
             now: 0.0,
+            refilled_at: 0.0,
             waited: 0.0,
             stalls: 0,
         }
@@ -43,10 +68,28 @@ impl TokenBucket {
         TokenBucket::new(10_000.0, 10_000.0)
     }
 
+    /// Split this bucket's budget evenly across `shards` workers. Each
+    /// shard bucket gets `rate / shards` and `burst / shards` (floored at
+    /// one token of burst), so the shards' aggregate throughput equals the
+    /// original budget.
+    pub fn split(rate: f64, burst: f64, shards: usize) -> Self {
+        let n = shards.max(1) as f64;
+        TokenBucket::new(rate / n, burst / n)
+    }
+
+    /// Credit all tokens accrued since the last refill, against `now`.
+    fn refill_to_now(&mut self) {
+        let dt = self.now - self.refilled_at;
+        if dt > 0.0 {
+            self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        }
+        self.refilled_at = self.now;
+    }
+
     /// Acquire one token, advancing the virtual clock as needed. Returns
     /// the seconds a real deployment would have slept.
     pub fn acquire(&mut self) -> f64 {
-        self.tokens = (self.tokens + 0.0).min(self.burst);
+        self.refill_to_now();
         if self.tokens >= 1.0 {
             self.tokens -= 1.0;
             return 0.0;
@@ -55,20 +98,23 @@ impl TokenBucket {
         let deficit = 1.0 - self.tokens;
         let wait = deficit / self.rate;
         self.now += wait;
+        self.refilled_at = self.now;
         self.waited += wait;
         self.stalls += 1;
         self.tokens = 0.0;
         wait
     }
 
-    /// Refill for `dt` virtual seconds elapsed outside `acquire`.
+    /// Inject `dt` virtual seconds elapsed outside `acquire`. Only moves
+    /// the clock; the refill is applied lazily on the next `acquire` or
+    /// `available` call.
     pub fn advance(&mut self, dt: f64) {
         self.now += dt;
-        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
     }
 
-    /// Tokens available right now.
-    pub fn available(&self) -> f64 {
+    /// Tokens available right now (including accrual not yet credited).
+    pub fn available(&mut self) -> f64 {
+        self.refill_to_now();
         self.tokens
     }
 
@@ -124,6 +170,82 @@ mod tests {
         tb.advance(1.0); // refill fully
         assert!((tb.available() - 10.0).abs() < 1e-9);
         assert_eq!(tb.acquire(), 0.0);
+    }
+
+    /// Regression (PR 4): `acquire` used to "refill" with the dead
+    /// expression `(tokens + 0.0).min(burst)`, i.e. not at all — it only
+    /// worked because `advance` refilled eagerly. Under the documented
+    /// contract `advance` moves the clock only, so `acquire` itself must
+    /// credit the elapsed virtual time or every post-drought acquire
+    /// stalls spuriously.
+    #[test]
+    fn acquire_credits_time_injected_by_advance() {
+        let mut tb = TokenBucket::new(10.0, 5.0);
+        for _ in 0..5 {
+            tb.acquire(); // drain the burst
+        }
+        tb.advance(0.35); // 3.5 tokens of virtual time pass
+        assert_eq!(tb.acquire(), 0.0, "accrued tokens must be credited");
+        assert_eq!(tb.acquire(), 0.0);
+        assert_eq!(tb.acquire(), 0.0);
+        // 3.5 accrued, 3 spent: the fourth acquire waits for the last 0.5.
+        let w = tb.acquire();
+        assert!((w - 0.05).abs() < 1e-9, "expected 0.05s wait, got {w}");
+    }
+
+    /// Interleaved `advance` + `acquire` can never mint more than `burst`
+    /// free acquires, no matter how the idle time is sliced.
+    #[test]
+    fn interleaved_advance_acquire_never_exceeds_burst() {
+        let mut tb = TokenBucket::new(10.0, 4.0);
+        // A huge drought, injected in many slices: only `burst` free.
+        for _ in 0..1000 {
+            tb.advance(1.0);
+        }
+        let mut free = 0;
+        while tb.acquire() == 0.0 {
+            free += 1;
+            assert!(free <= 4, "more than burst tokens after a drought");
+        }
+        assert_eq!(free, 4);
+
+        // Alternating small advances with acquires: each 0.1s slice at
+        // 10 pps accrues exactly one token, so nothing ever stalls and
+        // nothing accumulates beyond burst.
+        let mut tb = TokenBucket::new(10.0, 4.0);
+        for _ in 0..4 {
+            tb.acquire();
+        }
+        for _ in 0..50 {
+            tb.advance(0.1);
+            // 0.1 is not exactly representable; allow float dust.
+            assert!(tb.acquire() < 1e-9, "an exact-refill acquire must not stall");
+            assert!(tb.available() <= 4.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn split_budget_aggregates_to_the_global_rate() {
+        // 8 shards of a 10k budget: each gets 1250 pps; together they
+        // admit exactly the global rate in sustained operation.
+        let mut shards: Vec<TokenBucket> = (0..8).map(|_| TokenBucket::split(10_000.0, 10_000.0, 8)).collect();
+        let mut waited = 0.0;
+        for tb in &mut shards {
+            for _ in 0..2500 {
+                waited += tb.acquire();
+            }
+        }
+        // Each shard: 1250 burst free, then 1250 more at 1250 pps = 1s.
+        // Max over shards models wall time; all shards are symmetric here.
+        let per_shard = waited / 8.0;
+        assert!((per_shard - 1.0).abs() < 0.01, "per-shard wait {per_shard}");
+        // The same 20k packets through one global bucket: also 1s.
+        let mut global = TokenBucket::paper_policy();
+        let mut gw = 0.0;
+        for _ in 0..20_000 {
+            gw += global.acquire();
+        }
+        assert!((gw - per_shard).abs() < 0.01, "shard split changes the budget");
     }
 
     #[test]

@@ -5,7 +5,16 @@
 //! asks the world oracle how the target behaves, and *crafts a genuine
 //! response packet* for the engine to parse and validate. Every simulated
 //! exchange therefore exercises the full wire-format code path.
+//!
+//! For the sharded scan pipeline it additionally overrides
+//! [`Transport::probe_attempt`] with a zero-copy fast path: both ends of
+//! the exchange live in this process, so the craft→parse→validate
+//! round-trip is an identity map on the §4.1 classification and can be
+//! skipped. The fast path consults the same oracle with the same attempt
+//! numbering, so it is bit-identical to the wire path (and the engine's
+//! parallel-vs-sequential tests assert exactly that).
 
+use std::collections::HashMap;
 use std::net::Ipv6Addr;
 use std::sync::Arc;
 
@@ -16,19 +25,70 @@ use crate::packet::icmpv6::{build_dst_unreachable, build_echo_reply};
 use crate::packet::ipv6::{NEXT_ICMPV6, NEXT_TCP, NEXT_UDP};
 use crate::packet::tcp::{build_rst, build_syn_ack};
 use crate::packet::{parse_packet, ParsedPacket};
-use crate::transport::Transport;
+use crate::transport::{Attempt, Burst, ProbeSpec, Transport};
+
+/// Hasher for the per-flow attempt map. SipHash on a 17-byte key costs
+/// about as much as the whole world-oracle lookup; flow keys are internal
+/// simulator state (no attacker-controlled collisions to defend against),
+/// so folding the key and running a splitmix-style finisher is plenty.
+#[derive(Clone, Copy, Default)]
+struct FlowHasher(u64);
+
+impl std::hash::Hasher for FlowHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the (u128, u8) key, kept correct).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.0 = self.0.rotate_left(8) ^ u64::from(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.0 ^= (n as u64) ^ ((n >> 64) as u64).rotate_left(32);
+    }
+}
+
+/// (destination bits, protocol index) → attempts already transmitted.
+type FlowMap = HashMap<(u128, u8), u32, std::hash::BuildHasherDefault<FlowHasher>>;
 
 /// Transport backed by a [`World`].
+///
+/// Loss is re-rolled per transmission via the world's `attempt` parameter.
+/// The attempt number is tracked **per (destination, protocol)**: the nth
+/// probe of an address on a protocol sees the same loss roll no matter how
+/// probes to other targets are interleaved around it. This is what makes
+/// sharded scans bit-identical to sequential ones — a cloned shard
+/// transport inherits the counters and continues them for its own slice of
+/// the target list.
 #[derive(Debug, Clone)]
 pub struct SimTransport {
     world: Arc<World>,
     sent: u64,
+    attempts: FlowMap,
 }
 
 impl SimTransport {
     /// Attach to a world.
     pub fn new(world: Arc<World>) -> Self {
-        SimTransport { world, sent: 0 }
+        SimTransport {
+            world,
+            sent: 0,
+            attempts: FlowMap::default(),
+        }
     }
 
     /// The world this transport probes.
@@ -36,20 +96,34 @@ impl SimTransport {
         &self.world
     }
 
-    /// Classify the probe's protocol from its wire contents.
-    fn protocol_of(pkt: &ParsedPacket) -> Option<(Protocol, Ipv6Addr)> {
+    /// Next attempt number for one (destination, protocol) flow.
+    fn next_attempt(&mut self, dst: Ipv6Addr, proto: Protocol) -> u32 {
+        let slot = self.attempts.entry((u128::from(dst), proto.index() as u8)).or_insert(0);
+        let attempt = *slot;
+        *slot = slot.wrapping_add(1);
+        attempt
+    }
+
+    /// Classify the probe's protocol and addressing from its wire contents.
+    fn route_of(pkt: &ParsedPacket) -> Option<(Protocol, Ipv6Addr, Ipv6Addr)> {
         match pkt {
-            ParsedPacket::EchoRequest { dst, .. } => Some((Protocol::Icmp, *dst)),
-            ParsedPacket::Tcp { dst, segment, .. } => match segment.dport {
-                80 => Some((Protocol::Tcp80, *dst)),
-                443 => Some((Protocol::Tcp443, *dst)),
+            ParsedPacket::EchoRequest { src, dst, .. } => Some((Protocol::Icmp, *src, *dst)),
+            ParsedPacket::Tcp { src, dst, segment, .. } => match segment.dport {
+                80 => Some((Protocol::Tcp80, *src, *dst)),
+                443 => Some((Protocol::Tcp443, *src, *dst)),
                 _ => None,
             },
-            ParsedPacket::Dns { dst, message, .. } if message.dport == 53 => {
-                Some((Protocol::Udp53, *dst))
+            ParsedPacket::Dns { src, dst, message, .. } if message.dport == 53 => {
+                Some((Protocol::Udp53, *src, *dst))
             }
             _ => None,
         }
+    }
+
+    /// The notional last-hop gateway that reports a destination
+    /// unreachable: the destination /64's ::1 stands in.
+    fn gateway_of(dst: Ipv6Addr) -> Ipv6Addr {
+        Ipv6Addr::from(u128::from(dst) & !0xffff_ffff_ffff_ffffu128 | 1)
     }
 }
 
@@ -58,20 +132,18 @@ impl Transport for SimTransport {
         self.sent += 1;
         // A malformed probe elicits nothing, like the real network.
         let parsed = parse_packet(packet).ok()?;
-        let (proto, dst) = Self::protocol_of(&parsed)?;
-        // Each transmitted packet rolls loss independently: the attempt
-        // number is the global packet counter.
-        let reply = self.world.probe(dst, proto, (self.sent & 0xffff_ffff) as u32);
+        let (proto, src, dst) = Self::route_of(&parsed)?;
+        let attempt = self.next_attempt(dst, proto);
+        let reply = self.world.probe(dst, proto, attempt);
+        if matches!(reply, ProbeReply::DstUnreachable) {
+            // Routers quote the invoking packet regardless of its
+            // protocol (RFC 4443 §3.1): cite the actual probe bytes.
+            return Some(build_dst_unreachable(Self::gateway_of(dst), src, packet));
+        }
         match (reply, &parsed) {
             (ProbeReply::EchoReply, ParsedPacket::EchoRequest { src, ident, seq, payload, .. }) => {
                 let echoed = payload.map(|p| p.to_bytes().to_vec()).unwrap_or_default();
                 Some(build_echo_reply(dst, *src, *ident, *seq, &echoed))
-            }
-            (ProbeReply::DstUnreachable, ParsedPacket::EchoRequest { src, .. }) => {
-                // Attribute the unreachable to the destination's notional
-                // gateway: the destination /64's ::1 stands in.
-                let gw = Ipv6Addr::from(u128::from(dst) & !0xffff_ffff_ffff_ffffu128 | 1);
-                Some(build_dst_unreachable(gw, *src, packet))
             }
             (ProbeReply::SynAck, ParsedPacket::Tcp { src, segment, .. }) => Some(build_syn_ack(
                 dst,
@@ -93,6 +165,59 @@ impl Transport for SimTransport {
 
     fn packets_sent(&self) -> u64 {
         self.sent
+    }
+
+    /// Zero-copy fast path: ask the oracle directly and map its reply onto
+    /// the §4.1 attempt classification. Crafting and re-parsing response
+    /// bytes is skipped because inside one process it is an identity map:
+    /// the simulator always builds well-formed, token-valid responses, and
+    /// the world only emits reply kinds applicable to the probe protocol.
+    /// Counting and attempt numbering are identical to [`Self::send`].
+    fn probe_attempt(&mut self, spec: &ProbeSpec) -> Attempt {
+        self.sent += 1;
+        let attempt = self.next_attempt(spec.dst, spec.proto);
+        match self.world.probe(spec.dst, spec.proto, attempt) {
+            ProbeReply::EchoReply | ProbeReply::SynAck | ProbeReply::DnsAnswer => Attempt::Hit,
+            ProbeReply::Rst => Attempt::Rst,
+            ProbeReply::DstUnreachable => Attempt::Unreachable,
+            ProbeReply::Timeout => Attempt::Silent,
+        }
+    }
+
+    /// Burst fast path: one flow-map access per *target* instead of one
+    /// per packet. Attempt numbering, early exit, and packet counting are
+    /// identical to looping [`Self::probe_attempt`] — the sim never
+    /// produces `Malformed`/`Invalid` attempts, and indecisive replies are
+    /// all `Timeout`, so the default loop's drop accounting stays zero.
+    fn probe_burst(&mut self, spec: &ProbeSpec, budget: u32) -> Burst {
+        let world = Arc::clone(&self.world);
+        let slot = self
+            .attempts
+            .entry((u128::from(spec.dst), spec.proto.index() as u8))
+            .or_insert(0);
+        let mut burst = Burst::silent();
+        while burst.used < budget {
+            let attempt = *slot;
+            *slot = slot.wrapping_add(1);
+            burst.used += 1;
+            match world.probe(spec.dst, spec.proto, attempt) {
+                ProbeReply::EchoReply | ProbeReply::SynAck | ProbeReply::DnsAnswer => {
+                    burst.verdict = Attempt::Hit;
+                    break;
+                }
+                ProbeReply::Rst => {
+                    burst.verdict = Attempt::Rst;
+                    break;
+                }
+                ProbeReply::DstUnreachable => {
+                    burst.verdict = Attempt::Unreachable;
+                    break;
+                }
+                ProbeReply::Timeout => {}
+            }
+        }
+        self.sent += u64::from(burst.used);
+        burst
     }
 }
 
@@ -200,5 +325,84 @@ mod tests {
         let reply = (0..8).find_map(|_| t.send(&probe)).expect("live host answers");
         let parsed = parse_packet(&reply).unwrap();
         assert_eq!(parsed.region_tag(), Some(0xABCD));
+    }
+
+    /// Find a routed-but-unoccupied address whose gateway reports
+    /// Destination Unreachable (deterministic given the world seed).
+    fn find_unreachable(w: &World) -> Ipv6Addr {
+        let (base, _) = w.hosts().iter().next().expect("hosts exist");
+        let net = u128::from(base) & !0xffffu128;
+        (0..200_000u128)
+            .map(|i| Ipv6Addr::from(net | (0xa000 + i)))
+            .find(|&a| {
+                w.hosts().get(a).is_none()
+                    && matches!(w.probe(a, Protocol::Icmp, 0), ProbeReply::DstUnreachable)
+            })
+            .expect("some routed hole emits unreachables")
+    }
+
+    /// Regression (PR 4): unreachables used to be crafted only for ICMP
+    /// probes; TCP and UDP probes to the same hole were silently dropped.
+    /// RFC 4443 routers quote whatever packet invoked the error.
+    #[test]
+    fn unreachable_is_emitted_for_every_probe_protocol() {
+        let w = world();
+        let hole = find_unreachable(&w);
+        let src: Ipv6Addr = "2001:db8::100".parse().unwrap();
+        for proto in netmodel::PROTOCOLS {
+            let mut t = SimTransport::new(w.clone());
+            let probe = build_probe(src, hole, proto, 5, None);
+            let raw = t.send(&probe).unwrap_or_else(|| panic!("{proto:?} gets an unreachable"));
+            match parse_packet(&raw).unwrap() {
+                ParsedPacket::DstUnreachable { original_dst, .. } => {
+                    assert_eq!(original_dst, Some(hole), "quotes the invoking {proto:?} probe");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            // And the quoted bytes validate against the probed target, so
+            // the engine classifies it (as Unreachable, never a hit).
+            assert!(crate::packet::validate_response(
+                5,
+                hole,
+                &parse_packet(&raw).unwrap()
+            ));
+        }
+    }
+
+    /// The fast path and the wire path must agree attempt-for-attempt:
+    /// same oracle, same per-(dst, proto) attempt numbering, same
+    /// classification.
+    #[test]
+    fn probe_attempt_matches_wire_path_per_attempt() {
+        let w = world();
+        let src: Ipv6Addr = "2001:db8::100".parse().unwrap();
+        let mut targets: Vec<Ipv6Addr> = w.hosts().iter().map(|(a, _)| a).take(64).collect();
+        targets.push(find_unreachable(&w));
+        targets.push("3fff:ffff::1".parse().unwrap());
+        for proto in netmodel::PROTOCOLS {
+            let mut wire = SimTransport::new(w.clone());
+            let mut fast = SimTransport::new(w.clone());
+            for &dst in &targets {
+                let spec = ProbeSpec {
+                    src,
+                    dst,
+                    proto,
+                    salt: 5,
+                    region: None,
+                    validate: true,
+                };
+                for _ in 0..3 {
+                    let via_wire = match wire.send(&build_probe(src, dst, proto, 5, None)) {
+                        None => Attempt::Silent,
+                        Some(raw) => {
+                            crate::transport::classify_response(&spec, &raw).0
+                        }
+                    };
+                    let via_fast = fast.probe_attempt(&spec);
+                    assert_eq!(via_wire, via_fast, "{dst} {proto:?}");
+                }
+            }
+            assert_eq!(wire.packets_sent(), fast.packets_sent());
+        }
     }
 }

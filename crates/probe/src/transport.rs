@@ -6,6 +6,85 @@
 //! Internet ([`crate::sim::SimTransport`]) — everything above the transport
 //! is identical either way.
 
+use std::net::Ipv6Addr;
+
+use netmodel::Protocol;
+
+use crate::packet::{build_probe, parse_packet, validate_response, ParsedPacket};
+
+/// Everything a transport needs to perform one probe attempt on its own:
+/// the wire parameters of the probe plus the validation policy applied to
+/// whatever comes back.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeSpec {
+    /// Source address stamped on the probe.
+    pub src: Ipv6Addr,
+    /// The probed target.
+    pub dst: Ipv6Addr,
+    /// Probe protocol (determines packet shape and §4.1 classification).
+    pub proto: Protocol,
+    /// Validation salt (ZMap-style stateless response validation).
+    pub salt: u64,
+    /// Optional 6Scan-style region tag carried in the probe payload.
+    pub region: Option<u32>,
+    /// Drop responses that fail token validation.
+    pub validate: bool,
+}
+
+/// Classification of a single probe attempt (§4.1 rules applied to one
+/// transmitted packet). Every variant except the first three means "no
+/// verdict yet" — the engine retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attempt {
+    /// Positive response — a hit.
+    Hit,
+    /// TCP RST — port closed; live device, but not a hit (§4.1).
+    Rst,
+    /// ICMP Destination Unreachable — not a hit (§4.1).
+    Unreachable,
+    /// Nothing came back within the timeout.
+    Silent,
+    /// A response arrived but failed to parse (dropped, counted).
+    Malformed,
+    /// A response arrived but failed token validation (dropped, counted).
+    Invalid,
+    /// A response parsed but does not apply to this probe (ignored).
+    Inapplicable,
+}
+
+/// Classify raw response bytes against the probe that elicited them.
+/// Returns the attempt verdict plus any region tag echoed by a hit.
+/// This is the single classification path shared by the sequential engine
+/// and the sharded pipeline, so the two can never drift apart.
+pub(crate) fn classify_response(spec: &ProbeSpec, raw: &[u8]) -> (Attempt, Option<u32>) {
+    let Ok(parsed) = parse_packet(raw) else {
+        return (Attempt::Malformed, None);
+    };
+    if spec.validate && !validate_response(spec.salt, spec.dst, &parsed) {
+        return (Attempt::Invalid, None);
+    }
+    let tag = parsed.region_tag();
+    match parsed {
+        ParsedPacket::EchoReply { .. } if spec.proto == Protocol::Icmp => (Attempt::Hit, tag),
+        ParsedPacket::Tcp { segment, .. }
+            if matches!(spec.proto, Protocol::Tcp80 | Protocol::Tcp443) =>
+        {
+            if segment.is_syn_ack() {
+                (Attempt::Hit, tag)
+            } else if segment.is_rst() {
+                (Attempt::Rst, None)
+            } else {
+                (Attempt::Inapplicable, None)
+            }
+        }
+        ParsedPacket::Dns { message, .. } if spec.proto == Protocol::Udp53 && message.is_response => {
+            (Attempt::Hit, tag)
+        }
+        ParsedPacket::DstUnreachable { .. } => (Attempt::Unreachable, None),
+        _ => (Attempt::Inapplicable, None),
+    }
+}
+
 /// A request/response packet transport.
 ///
 /// `send` transmits one probe packet and synchronously returns the response
@@ -21,6 +100,77 @@ pub trait Transport {
 
     /// Total packets transmitted through this transport.
     fn packets_sent(&self) -> u64;
+
+    /// Perform one probe attempt end to end: build the probe, transmit
+    /// it, and classify the response per §4.1.
+    ///
+    /// The default implementation round-trips real packet bytes through
+    /// [`Transport::send`] — byte-identical to the classic engine path.
+    /// Transports backed by an in-process oracle (see
+    /// [`crate::sim::SimTransport`]) override it to skip crafting and
+    /// re-parsing response bytes entirely; the override must count the
+    /// attempt in `packets_sent` and classify exactly as the wire path
+    /// would. The sharded scan pipeline is built on this method.
+    fn probe_attempt(&mut self, spec: &ProbeSpec) -> Attempt {
+        let probe = build_probe(spec.src, spec.dst, spec.proto, spec.salt, spec.region);
+        match self.send(&probe) {
+            None => Attempt::Silent,
+            Some(raw) => classify_response(spec, &raw).0,
+        }
+    }
+
+    /// Probe one target to completion: up to `budget` attempts, stopping
+    /// at the first decisive response (hit, RST, or unreachable).
+    ///
+    /// The default implementation loops [`Transport::probe_attempt`] with
+    /// the exact retry semantics of the engine's per-target loop, so
+    /// overriding `probe_attempt` is enough for correctness. Transports
+    /// with per-flow state (see [`crate::sim::SimTransport`]) override
+    /// this too, so per-flow bookkeeping is touched once per target
+    /// rather than once per packet — the shard loop's hot path.
+    fn probe_burst(&mut self, spec: &ProbeSpec, budget: u32) -> Burst {
+        let mut burst = Burst::silent();
+        while burst.used < budget {
+            burst.used += 1;
+            match self.probe_attempt(spec) {
+                verdict @ (Attempt::Hit | Attempt::Rst | Attempt::Unreachable) => {
+                    burst.verdict = verdict;
+                    break;
+                }
+                Attempt::Malformed => burst.malformed += 1,
+                Attempt::Invalid => burst.invalid += 1,
+                Attempt::Silent | Attempt::Inapplicable => {}
+            }
+        }
+        burst
+    }
+}
+
+/// Outcome of one [`Transport::probe_burst`]: the per-target verdict plus
+/// the per-attempt accounting the engine needs for its drop counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    /// Final verdict: `Hit`, `Rst`, or `Unreachable` if any attempt was
+    /// decisive, else `Silent` (indecisive attempts never escalate).
+    pub verdict: Attempt,
+    /// Packets actually transmitted (≤ budget; stops after a decision).
+    pub used: u32,
+    /// Responses that failed to parse.
+    pub malformed: u32,
+    /// Responses that failed token validation.
+    pub invalid: u32,
+}
+
+impl Burst {
+    /// A burst that has transmitted nothing and decided nothing yet.
+    pub fn silent() -> Burst {
+        Burst {
+            verdict: Attempt::Silent,
+            used: 0,
+            malformed: 0,
+            invalid: 0,
+        }
+    }
 }
 
 /// A scripted transport for unit tests: pops pre-programmed responses.
@@ -46,6 +196,8 @@ impl Transport for ScriptedTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet::icmpv6::{build_echo_reply, EchoPayload, NO_REGION};
+    use crate::packet::validation_token;
 
     #[test]
     fn scripted_transport_replays_in_order() {
@@ -57,5 +209,31 @@ mod tests {
         assert_eq!(t.send(b"c"), None); // script exhausted = timeout
         assert_eq!(t.packets_sent(), 3);
         assert_eq!(t.sent.len(), 3);
+    }
+
+    #[test]
+    fn default_probe_attempt_round_trips_bytes() {
+        let src: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8::2".parse().unwrap();
+        let spec = ProbeSpec {
+            src,
+            dst,
+            proto: Protocol::Icmp,
+            salt: 7,
+            region: None,
+            validate: true,
+        };
+        // Timeout, then garbage, then a genuine (validated) echo reply.
+        let token = validation_token(7, dst);
+        let payload = EchoPayload { token, region: NO_REGION }.to_bytes();
+        let reply = build_echo_reply(dst, src, (token >> 48) as u16, token as u16, &payload);
+        let mut t = ScriptedTransport::default();
+        t.script.push_back(None);
+        t.script.push_back(Some(vec![0u8; 9]));
+        t.script.push_back(Some(reply));
+        assert_eq!(t.probe_attempt(&spec), Attempt::Silent);
+        assert_eq!(t.probe_attempt(&spec), Attempt::Malformed);
+        assert_eq!(t.probe_attempt(&spec), Attempt::Hit);
+        assert_eq!(t.packets_sent(), 3, "each attempt transmits one probe");
     }
 }

@@ -1,132 +1,173 @@
 //! Property tests for the wire-format layer: build→parse roundtrips for
 //! arbitrary endpoints, checksum integrity under corruption, and parser
 //! robustness on random bytes (it must reject, never panic or accept).
+//!
+//! Cases are driven by a seeded deterministic generator (splitmix64), so
+//! every run explores the same randomized inputs — failures reproduce
+//! exactly, and the harness needs no external dependencies.
 
 use std::net::Ipv6Addr;
-
-use proptest::prelude::*;
 
 use netmodel::Protocol;
 use sos_probe::packet::icmpv6::{build_echo_reply, EchoPayload};
 use sos_probe::packet::tcp::{build_rst, build_syn_ack};
 use sos_probe::packet::{build_probe, parse_packet, validate_response, ParsedPacket};
 
-fn arb_addr() -> impl Strategy<Value = Ipv6Addr> {
-    any::<u128>().prop_map(Ipv6Addr::from)
+/// Deterministic case generator (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed)
+    }
+
+    fn u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn addr(&mut self) -> Ipv6Addr {
+        Ipv6Addr::from((u128::from(self.u64()) << 64) | u128::from(self.u64()))
+    }
+
+    fn proto(&mut self) -> Protocol {
+        [Protocol::Icmp, Protocol::Tcp80, Protocol::Tcp443, Protocol::Udp53]
+            [(self.u64() % 4) as usize]
+    }
+
+    fn range(&mut self, n: usize) -> usize {
+        (self.u64() % n.max(1) as u64) as usize
+    }
 }
 
-fn arb_proto() -> impl Strategy<Value = Protocol> {
-    prop_oneof![
-        Just(Protocol::Icmp),
-        Just(Protocol::Tcp80),
-        Just(Protocol::Tcp443),
-        Just(Protocol::Udp53),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn probe_roundtrips_for_any_endpoints(
-        src in arb_addr(),
-        dst in arb_addr(),
-        proto in arb_proto(),
-        salt in any::<u64>(),
-        region in proptest::option::of(0u32..u32::MAX - 1),
-    ) {
+#[test]
+fn probe_roundtrips_for_any_endpoints() {
+    let mut g = Gen::new(0x70_61_63_6b);
+    for case in 0..256 {
+        let src = g.addr();
+        let dst = g.addr();
+        let proto = g.proto();
+        let salt = g.u64();
+        let region = if g.u64() % 2 == 0 { Some(g.u64() as u32 % (u32::MAX - 1)) } else { None };
         let pkt = build_probe(src, dst, proto, salt, region);
         let parsed = parse_packet(&pkt).expect("own probes always parse");
         match (proto, &parsed) {
             (Protocol::Icmp, ParsedPacket::EchoRequest { src: s, dst: d, payload, .. }) => {
-                prop_assert_eq!(*s, src);
-                prop_assert_eq!(*d, dst);
+                assert_eq!(*s, src);
+                assert_eq!(*d, dst);
                 let p = payload.expect("own payload");
                 match region {
-                    Some(r) => prop_assert_eq!(p.region, r),
-                    None => prop_assert_eq!(p.region, u32::MAX),
+                    Some(r) => assert_eq!(p.region, r),
+                    None => assert_eq!(p.region, u32::MAX),
                 }
             }
             (Protocol::Tcp80, ParsedPacket::Tcp { segment, .. }) => {
-                prop_assert_eq!(segment.dport, 80);
+                assert_eq!(segment.dport, 80);
             }
             (Protocol::Tcp443, ParsedPacket::Tcp { segment, .. }) => {
-                prop_assert_eq!(segment.dport, 443);
+                assert_eq!(segment.dport, 443);
             }
             (Protocol::Udp53, ParsedPacket::Dns { message, .. }) => {
-                prop_assert_eq!(message.dport, 53);
-                prop_assert!(!message.is_response);
+                assert_eq!(message.dport, 53);
+                assert!(!message.is_response);
             }
-            other => prop_assert!(false, "wrong shape: {:?}", other),
+            other => panic!("case {case}: wrong shape: {other:?}"),
         }
     }
+}
 
-    #[test]
-    fn single_byte_corruption_never_yields_a_valid_different_packet(
-        dst in arb_addr(),
-        proto in arb_proto(),
-        salt in any::<u64>(),
-        corrupt_at_frac in 0.0f64..1.0,
-        flip in 1u8..=255,
-    ) {
-        let src: Ipv6Addr = "2001:db8::1".parse().unwrap();
+#[test]
+fn single_byte_corruption_never_yields_a_valid_different_packet() {
+    let mut g = Gen::new(0xc0_44_06_7e);
+    let src: Ipv6Addr = "2001:db8::1".parse().unwrap();
+    for _ in 0..256 {
+        let dst = g.addr();
+        let proto = g.proto();
+        let salt = g.u64();
         let pkt = build_probe(src, dst, proto, salt, None);
         let mut bad = pkt.clone();
         // corrupt one byte past the IPv6 header (corruptions inside the
         // header are caught by addresses/length checks instead)
-        let idx = 40 + ((corrupt_at_frac * (bad.len() - 40) as f64) as usize).min(bad.len() - 41);
+        let idx = 40 + g.range(bad.len() - 40);
+        let flip = 1 + (g.u64() % 255) as u8;
         bad[idx] ^= flip;
         // Either parsing fails (checksum), or — if the flip landed on a
         // checksum-compensating position — the packet differs and parsing
         // cannot produce the original.
         if let Ok(parsed) = parse_packet(&bad) {
             let original = parse_packet(&pkt).unwrap();
-            prop_assert_ne!(parsed, original);
+            assert_ne!(parsed, original);
         }
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+#[test]
+fn parser_never_panics_on_garbage() {
+    let mut g = Gen::new(0x9a_4b_a9_e5);
+    for _ in 0..512 {
+        let len = g.range(200);
+        let bytes: Vec<u8> = (0..len).map(|_| g.u64() as u8).collect();
         let _ = parse_packet(&bytes); // must not panic
     }
+}
 
-    #[test]
-    fn parser_never_accepts_garbage_with_bad_version(
-        mut bytes in proptest::collection::vec(any::<u8>(), 40..200),
-    ) {
+#[test]
+fn parser_never_accepts_garbage_with_bad_version() {
+    let mut g = Gen::new(0x76_e5_10_4e);
+    for _ in 0..256 {
+        let len = 40 + g.range(160);
+        let mut bytes: Vec<u8> = (0..len).map(|_| g.u64() as u8).collect();
         bytes[0] = 0x40; // IPv4 version nybble
-        prop_assert!(parse_packet(&bytes).is_err());
+        assert!(parse_packet(&bytes).is_err());
     }
+}
 
-    #[test]
-    fn echo_reply_validation_is_token_exact(
-        dst in arb_addr(),
-        salt in any::<u64>(),
-        wrong in any::<u64>(),
-    ) {
-        let me: Ipv6Addr = "2001:db8::1".parse().unwrap();
+#[test]
+fn echo_reply_validation_is_token_exact() {
+    let mut g = Gen::new(0x70_6c_0a_d5);
+    let me: Ipv6Addr = "2001:db8::1".parse().unwrap();
+    for _ in 0..256 {
+        let dst = g.addr();
+        let salt = g.u64();
+        let wrong = g.u64();
         let token = sos_probe::packet::validation_token(salt, dst);
-        let good = build_echo_reply(dst, me, 0, 0, &EchoPayload { token, region: u32::MAX }.to_bytes());
-        prop_assert!(validate_response(salt, dst, &parse_packet(&good).unwrap()));
-        prop_assume!(wrong != token);
-        let bad = build_echo_reply(dst, me, 0, 0, &EchoPayload { token: wrong, region: u32::MAX }.to_bytes());
-        prop_assert!(!validate_response(salt, dst, &parse_packet(&bad).unwrap()));
+        let good =
+            build_echo_reply(dst, me, 0, 0, &EchoPayload { token, region: u32::MAX }.to_bytes());
+        assert!(validate_response(salt, dst, &parse_packet(&good).unwrap()));
+        if wrong == token {
+            continue;
+        }
+        let bad = build_echo_reply(
+            dst,
+            me,
+            0,
+            0,
+            &EchoPayload { token: wrong, region: u32::MAX }.to_bytes(),
+        );
+        assert!(!validate_response(salt, dst, &parse_packet(&bad).unwrap()));
     }
+}
 
-    #[test]
-    fn syn_ack_and_rst_classification_is_exclusive(
-        dst in arb_addr(),
-        sport in any::<u16>(),
-        seq in any::<u32>(),
-    ) {
-        let me: Ipv6Addr = "2001:db8::1".parse().unwrap();
+#[test]
+fn syn_ack_and_rst_classification_is_exclusive() {
+    let mut g = Gen::new(0x7c_b5_1a_c7);
+    let me: Ipv6Addr = "2001:db8::1".parse().unwrap();
+    for _ in 0..256 {
+        let dst = g.addr();
+        let sport = g.u64() as u16;
+        let seq = g.u64() as u32;
         let synack = parse_packet(&build_syn_ack(dst, me, 443, sport, 1, seq)).unwrap();
         let rst = parse_packet(&build_rst(dst, me, 443, sport, seq)).unwrap();
         match (synack, rst) {
             (ParsedPacket::Tcp { segment: sa, .. }, ParsedPacket::Tcp { segment: r, .. }) => {
-                prop_assert!(sa.is_syn_ack() && !sa.is_rst());
-                prop_assert!(r.is_rst() && !r.is_syn_ack());
-                prop_assert_eq!(sa.ack, seq.wrapping_add(1));
+                assert!(sa.is_syn_ack() && !sa.is_rst());
+                assert!(r.is_rst() && !r.is_syn_ack());
+                assert_eq!(sa.ack, seq.wrapping_add(1));
             }
-            other => prop_assert!(false, "wrong shapes {:?}", other),
+            other => panic!("wrong shapes {other:?}"),
         }
     }
 }

@@ -80,7 +80,7 @@ fn retries_accumulate_across_scans() {
     let mut s = Scanner::new(cfg, SimTransport::new(w));
     let dead: Vec<Ipv6Addr> = vec!["3fff::1".parse().unwrap(), "3fff::2".parse().unwrap()];
     s.scan(dead.clone(), Protocol::Icmp);
-    s.scan(dead.iter().map(|a| *a), Protocol::Tcp80);
+    s.scan(dead.iter().copied(), Protocol::Tcp80);
     // 2 targets × 2 scans × 3 retries each (silent targets exhaust
     // every attempt).
     assert_eq!(s.metrics().counter("probe.retries"), 12);

@@ -59,7 +59,7 @@ fn six_gen_is_complete_on_tight_ranges() {
 /// positions — the fixed prefix never mutates.
 #[test]
 fn entropy_ip_respects_constant_segments() {
-    let seeds: Vec<Ipv6Addr> = (1..=30u128).map(|i| addr(SITE | i * 5)).collect();
+    let seeds: Vec<Ipv6Addr> = (1..=30u128).map(|i| addr(SITE | (i * 5))).collect();
     let out = build(TgaId::EntropyIp).generate(
         &seeds,
         &GenConfig::new(500, 4, Protocol::Icmp),
