@@ -20,6 +20,7 @@
 //! PR.
 
 use std::net::Ipv6Addr;
+// sos-lint: allow(det-wallclock) the perf harness measures wall-clock by design; timings never feed scan results
 use std::time::{Duration, Instant};
 
 use netmodel::Protocol;
@@ -265,6 +266,7 @@ pub fn run_suite(cfg: &PerfConfig) -> Vec<BenchResult> {
         }
         let mut samples_s = Vec::with_capacity(cfg.reps);
         for _ in 0..cfg.reps {
+            // sos-lint: allow(det-wallclock) the measurement loop itself; samples feed BENCH_PR*.json, not reports
             let t0 = Instant::now();
             f();
             if let Some(ms) = slow_ms {

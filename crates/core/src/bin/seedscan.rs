@@ -175,11 +175,11 @@ fn main() -> ExitCode {
         cfg.budget,
         cfg.effective_threads(),
     );
-    let t0 = std::time::Instant::now();
+    let t0 = sos_obs::now_s();
     let study = Study::new(cfg);
     sos_obs::info!(
-        "study ready in {:.1?}: {} modeled hosts, {} responsive, {} seeds collected",
-        t0.elapsed(),
+        "study ready in {:.1}s: {} modeled hosts, {} responsive, {} seeds collected",
+        sos_obs::now_s() - t0,
         study.world().stats().modeled_hosts,
         study.world().stats().responsive_any,
         study.pipeline().full.len()
@@ -196,9 +196,9 @@ fn main() -> ExitCode {
         "rq1" | "rq2" | "rq4" | "appendix-d" | "raw" | "recommend" | "export" | "all"
     );
     let grid = if needs_grid {
-        let t = std::time::Instant::now();
+        let t = sos_obs::now_s();
         let g = master_grid(&study);
-        sos_obs::info!("master grid ({} cells) in {:.1?}", g.len(), t.elapsed());
+        sos_obs::info!("master grid ({} cells) in {:.1}s", g.len(), sos_obs::now_s() - t);
         Some(g)
     } else {
         None
@@ -292,11 +292,11 @@ fn main() -> ExitCode {
         }
     }
     if run("budget-sweep") {
-        let t = std::time::Instant::now();
+        let t = sos_obs::now_s();
         let ladder = experiments::budget::default_ladder(&study);
         let curves =
             experiments::budget::budget_sweep(&study, &tga::TgaId::ALL, &ladder, netmodel::Protocol::Icmp);
-        sos_obs::info!("budget sweep in {:.1?}", t.elapsed());
+        sos_obs::info!("budget sweep in {:.1}s", sos_obs::now_s() - t);
         emit("budget_sweep", experiments::budget::render(&curves, netmodel::Protocol::Icmp));
         let rows: Vec<(String, f64)> = curves
             .iter()
@@ -308,22 +308,22 @@ fn main() -> ExitCode {
         );
     }
     if run("as-kind") {
-        let t = std::time::Instant::now();
+        let t = sos_obs::now_s();
         let r = experiments::as_kind::run_by_kind(&study, &tga::TgaId::ALL);
-        sos_obs::info!("as-kind in {:.1?}", t.elapsed());
+        sos_obs::info!("as-kind in {:.1}s", sos_obs::now_s() - t);
         emit("as_kind", r.render(&study));
     }
     if run("rq3") {
-        let t = std::time::Instant::now();
+        let t = sos_obs::now_s();
         let r = experiments::rq3::run_rq3(&study, &[netmodel::Protocol::Icmp], &tga::TgaId::ALL);
-        sos_obs::info!("rq3 ({} cells) in {:.1?}", r.len(), t.elapsed());
+        sos_obs::info!("rq3 ({} cells) in {:.1}s", r.len(), sos_obs::now_s() - t);
         emit("rq3.table5", experiments::rq3::render_table5(&r));
         emit("rq3.source_raw", experiments::rq3::render_source_raw(&r, netmodel::Protocol::Icmp));
         let chars = experiments::rq3::as_characterization(&study, &r);
         emit("rq3.table6", experiments::rq3::render_table6(&chars));
     }
 
-    sos_obs::info!("done in {:.1?}", t0.elapsed());
+    sos_obs::info!("done in {:.1}s", sos_obs::now_s() - t0);
     if let Some(path) = args.manifest.as_deref() {
         match manifest.into_inner().write_to_file(std::path::Path::new(path)) {
             Ok(()) => sos_obs::info!("wrote manifest {path}"),

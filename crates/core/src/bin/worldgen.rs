@@ -71,12 +71,12 @@ fn main() -> ExitCode {
     manifest.config("scale", scale.as_str());
     manifest.config("seed", seed);
 
-    let t0 = std::time::Instant::now();
+    let t0 = sos_obs::now_s();
     let world = {
         let _span = sos_obs::span_detail("world_build", format!("scale={scale}"));
         World::build(cfg)
     };
-    sos_obs::info!("worldgen: built in {:.1?}", t0.elapsed());
+    sos_obs::info!("worldgen: built in {:.1}s", sos_obs::now_s() - t0);
 
     let stats = world.stats();
     manifest.config("modeled_hosts", stats.modeled_hosts);

@@ -100,6 +100,7 @@ pub fn run_rq3(study: &Study, protos: &[Protocol], tgas: &[TgaId]) -> Rq3Results
         par_map_stats(work, threads, "rq3.sources", |(source, proto, tga)| {
             let salt = cell_salt(0x593, tga, proto, source.stream());
             let r = run_tga(study, tga, seed_of(source), proto, budget, salt);
+            // sos-lint: allow(conc-relaxed) progress counter for log lines only; never read back into results
             let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
             if n % 32 == 0 {
                 sos_obs::info!("rq3: {n}/{total_cells} source cells");
@@ -216,7 +217,7 @@ pub fn as_characterization(study: &Study, r: &Rq3Results) -> Vec<AsCharacterizat
     let mut out = Vec::new();
     for source in SourceId::ALL {
         for proto in PROTOCOLS {
-            let mut hits: HashSet<u128> = HashSet::new();
+            let mut hits: BTreeSet<u128> = BTreeSet::new();
             for tga in TgaId::ALL {
                 if let Some(cell) = r.cells.get(&(source, proto, tga)) {
                     hits.extend(cell.clean_hits.iter().map(|&a| u128::from(a)));

@@ -1,0 +1,168 @@
+//! Baseline load/save/diff.
+//!
+//! CI does not fail on pre-existing debt: the committed
+//! `LINT_BASELINE.json` records known findings, and a run fails only when
+//! a finding appears that the baseline does not cover. Matching keys on
+//! `(rule, file, excerpt)` — the trimmed source line — so edits elsewhere
+//! in a file (shifting line numbers) do not churn the baseline, while
+//! *changing* a flagged line makes it count as new again, forcing a
+//! fresh look.
+
+use std::collections::BTreeMap;
+
+use sos_obs::json::Json;
+
+use crate::rules::Finding;
+
+/// One baseline entry (a finding stripped of its volatile line number).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub excerpt: String,
+}
+
+impl BaselineEntry {
+    fn of(f: &Finding) -> BaselineEntry {
+        BaselineEntry {
+            rule: f.rule.to_string(),
+            file: f.file.clone(),
+            excerpt: f.excerpt.clone(),
+        }
+    }
+}
+
+/// Outcome of diffing current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Findings the baseline does not cover — these fail the build.
+    pub new: Vec<Finding>,
+    /// Baseline entries no findings matched — fixed debt; rewrite the
+    /// baseline to drop them.
+    pub resolved: Vec<BaselineEntry>,
+}
+
+/// Serialize findings as a baseline document.
+pub fn to_json(findings: &[Finding]) -> Json {
+    let mut doc = Json::obj();
+    doc.set("version", 1u64).set("tool", "sos-lint");
+    let mut entries: Vec<Json> = Vec::with_capacity(findings.len());
+    let mut sorted: Vec<BaselineEntry> = findings.iter().map(BaselineEntry::of).collect();
+    sorted.sort();
+    for e in &sorted {
+        let mut o = Json::obj();
+        o.set("rule", e.rule.as_str())
+            .set("file", e.file.as_str())
+            .set("excerpt", e.excerpt.as_str());
+        entries.push(o);
+    }
+    doc.set("findings", Json::Arr(entries));
+    doc
+}
+
+/// Parse a baseline document into a multiset of entries.
+pub fn parse(doc: &Json) -> Result<Vec<BaselineEntry>, String> {
+    let findings = doc
+        .get("findings")
+        .and_then(Json::as_arr)
+        .ok_or("baseline has no `findings` array")?;
+    let mut out = Vec::with_capacity(findings.len());
+    for f in findings {
+        let field = |k: &str| {
+            f.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("baseline entry missing `{k}`"))
+        };
+        out.push(BaselineEntry { rule: field("rule")?, file: field("file")?, excerpt: field("excerpt")? });
+    }
+    Ok(out)
+}
+
+/// Diff current findings against baseline entries (multiset semantics:
+/// two identical lines need two baseline entries).
+pub fn diff(current: &[Finding], baseline: &[BaselineEntry]) -> Diff {
+    let mut budget: BTreeMap<BaselineEntry, usize> = BTreeMap::new();
+    for e in baseline {
+        *budget.entry(e.clone()).or_insert(0) += 1;
+    }
+    let mut out = Diff::default();
+    for f in current {
+        let key = BaselineEntry::of(f);
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => out.new.push(f.clone()),
+        }
+    }
+    for (entry, n) in budget {
+        for _ in 0..n {
+            out.resolved.push(entry.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32, excerpt: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message: String::new(),
+            excerpt: excerpt.to_string(),
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let fs = vec![
+            finding("panic-unwrap", "crates/a/src/lib.rs", 10, "x.unwrap()"),
+            finding("det-wallclock", "crates/b/src/lib.rs", 3, "Instant::now()"),
+        ];
+        let doc = to_json(&fs);
+        let back = parse(&Json::parse(&doc.to_string_pretty()).expect("parses")).expect("entries");
+        assert_eq!(back.len(), 2);
+        let d = diff(&fs, &back);
+        assert!(d.new.is_empty());
+        assert!(d.resolved.is_empty());
+    }
+
+    #[test]
+    fn line_drift_does_not_create_new_findings() {
+        let old = vec![finding("panic-unwrap", "f.rs", 10, "x.unwrap()")];
+        let entries = parse(&to_json(&old)).expect("entries");
+        let drifted = vec![finding("panic-unwrap", "f.rs", 99, "x.unwrap()")];
+        assert!(diff(&drifted, &entries).new.is_empty());
+    }
+
+    #[test]
+    fn changed_line_or_new_site_is_new() {
+        let entries = parse(&to_json(&[finding("panic-unwrap", "f.rs", 1, "a.unwrap()")]))
+            .expect("entries");
+        let changed = vec![finding("panic-unwrap", "f.rs", 1, "b.unwrap()")];
+        let d = diff(&changed, &entries);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.resolved.len(), 1, "old entry reported as resolved");
+    }
+
+    #[test]
+    fn multiset_counts_duplicates() {
+        let one = vec![finding("panic-unwrap", "f.rs", 1, "x.unwrap()")];
+        let entries = parse(&to_json(&one)).expect("entries");
+        let twice = vec![
+            finding("panic-unwrap", "f.rs", 1, "x.unwrap()"),
+            finding("panic-unwrap", "f.rs", 2, "x.unwrap()"),
+        ];
+        let d = diff(&twice, &entries);
+        assert_eq!(d.new.len(), 1, "second identical line needs its own entry");
+    }
+
+    #[test]
+    fn malformed_baselines_error() {
+        assert!(parse(&Json::parse("{}").expect("json")).is_err());
+        assert!(parse(&Json::parse(r#"{"findings":[{"rule":"x"}]}"#).expect("json")).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! `sos-lint` — in-house static analysis for the seeds-of-scanning
+//! workspace.
+//!
+//! The reproduction's headline property is *bit-identical determinism*:
+//! sharded scans must merge to the sequential report, and every
+//! comparative number in the paper assumes reruns reproduce. Those
+//! invariants are enforced here at the source level — a zero-dependency
+//! lexer (`lexer`), file/region classification (`classify`), a token-rule
+//! engine (`rules`), and a committed-baseline diff (`baseline`) that
+//! fails CI on *new* findings only.
+//!
+//! See `README.md` § "Static analysis" for the rule list, suppression
+//! syntax (`// sos-lint: allow(rule) reason`), and the baseline workflow.
+
+pub mod baseline;
+pub mod classify;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+use sos_obs::json::Json;
+
+pub use rules::{lint_source, Config, Finding, RuleInfo, RULES};
+
+/// Directories never linted: build output, VCS, and the lint crate's own
+/// rule fixtures (which violate rules on purpose).
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
+
+/// Collect every `.rs` file under `root` in sorted order (directory
+/// iteration order is OS-dependent; sorting keeps reports and baselines
+/// deterministic — the same property this tool enforces).
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if !SKIP_DIRS.contains(&name) {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint every source file under `root` with `cfg`; findings come back
+/// sorted by `(file, line, rule)`.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in collect_sources(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        findings.extend(rules::lint_source(&rel, &src, cfg));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Machine-readable report: all findings, plus the baseline diff when a
+/// baseline was supplied. CI archives this next to the perf artifact.
+pub fn report_json(
+    findings: &[Finding],
+    diff: Option<&baseline::Diff>,
+) -> Json {
+    let finding_json = |f: &Finding| {
+        let mut o = Json::obj();
+        o.set("rule", f.rule)
+            .set("file", f.file.as_str())
+            .set("line", u64::from(f.line))
+            .set("message", f.message.as_str())
+            .set("excerpt", f.excerpt.as_str());
+        o
+    };
+    let mut doc = Json::obj();
+    doc.set("version", 1u64).set("tool", "sos-lint");
+    doc.set("rules", Json::Arr(RULES.iter().map(|r| {
+        let mut o = Json::obj();
+        o.set("id", r.id).set("group", r.group).set("rationale", r.rationale);
+        o
+    }).collect()));
+    doc.set("findings", Json::Arr(findings.iter().map(finding_json).collect()));
+    doc.set("total", findings.len());
+    if let Some(d) = diff {
+        doc.set("new", Json::Arr(d.new.iter().map(finding_json).collect()));
+        doc.set(
+            "resolved",
+            Json::Arr(
+                d.resolved
+                    .iter()
+                    .map(|e| {
+                        let mut o = Json::obj();
+                        o.set("rule", e.rule.as_str())
+                            .set("file", e.file.as_str())
+                            .set("excerpt", e.excerpt.as_str());
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_is_stable() {
+        let f = Finding {
+            rule: "panic-unwrap",
+            file: "crates/a/src/lib.rs".into(),
+            line: 3,
+            message: "m".into(),
+            excerpt: "x.unwrap()".into(),
+        };
+        let d = baseline::diff(std::slice::from_ref(&f), &[]);
+        let doc = report_json(&[f], Some(&d));
+        assert_eq!(doc.get("total").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("new").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        assert_eq!(
+            doc.get("rules").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(RULES.len())
+        );
+        // the report itself round-trips through the parser
+        assert!(Json::parse(&doc.to_string_pretty()).is_ok());
+    }
+}

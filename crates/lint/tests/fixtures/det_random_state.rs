@@ -1,0 +1,6 @@
+// Fixture: per-process hasher seeding.
+use std::collections::hash_map::RandomState;
+
+pub fn hasher() -> RandomState {
+    RandomState::new()
+}

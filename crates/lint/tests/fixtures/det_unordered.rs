@@ -1,0 +1,10 @@
+// Fixture: unordered collection types in report-assembly code.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u64]) -> HashMap<u64, u32> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

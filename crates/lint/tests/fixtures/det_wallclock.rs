@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads in production code.
+use std::time::Instant;
+
+pub fn elapsed() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

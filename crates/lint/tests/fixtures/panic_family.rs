@@ -1,0 +1,15 @@
+// Fixture: every panic-safety violation plus the permitted forms.
+pub fn violations(xs: &[u32], i: usize) -> u32 {
+    let first = xs.first().unwrap();
+    if *first == 0 {
+        panic!("zero");
+    }
+    xs[i]
+}
+
+pub fn permitted(xs: &[u32; 4], i: usize) -> u32 {
+    let head = xs[0];
+    let wrapped = xs[i % 4];
+    let stated = xs[i]; // i < 4: caller contract
+    head + wrapped + stated
+}

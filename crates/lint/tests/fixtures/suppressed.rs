@@ -1,0 +1,10 @@
+// Fixture: suppressions with and without a written reason.
+pub fn with_reason(xs: &[u32]) -> u32 {
+    // sos-lint: allow(panic-unwrap) fixture invariant: xs is non-empty by construction
+    *xs.first().unwrap()
+}
+
+pub fn without_reason(xs: &[u32]) -> u32 {
+    // sos-lint: allow(panic-unwrap)
+    *xs.last().unwrap()
+}

@@ -1,0 +1,18 @@
+// Fixture: panics inside #[cfg(test)] are fine; static mut is not.
+pub fn add(a: u32, b: u32) -> u32 {
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static mut COUNTER: u32 = 0;
+
+    #[test]
+    fn panics_allowed_here() {
+        let xs = vec![1u32];
+        assert_eq!(*xs.first().unwrap(), add(1, 0));
+        let _ = xs[0];
+    }
+}

@@ -1,0 +1,231 @@
+//! Fixture-driven tests of the rule engine: every rule fires on its
+//! fixture, stays quiet on allowlisted paths/classes, and obeys
+//! suppressions — plus end-to-end baseline-diff and CLI exit codes.
+
+use sos_lint::{baseline, lint_source, Config, Finding, RULES};
+use sos_obs::json::Json;
+
+const WALLCLOCK: &str = include_str!("fixtures/det_wallclock.rs");
+const UNORDERED: &str = include_str!("fixtures/det_unordered.rs");
+const HASH_ITER: &str = include_str!("fixtures/det_hash_iter.rs");
+const RANDOM_STATE: &str = include_str!("fixtures/det_random_state.rs");
+const PANIC_FAMILY: &str = include_str!("fixtures/panic_family.rs");
+const CONC: &str = include_str!("fixtures/conc.rs");
+const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
+const TEST_REGION: &str = include_str!("fixtures/test_region.rs");
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+fn lint(path: &str, src: &str) -> Vec<Finding> {
+    lint_source(path, src, &Config::default())
+}
+
+// --- determinism ---------------------------------------------------------
+
+#[test]
+fn wallclock_fires_in_lib_and_bin_but_not_in_obs_or_tests() {
+    let hits = lint("crates/probe/src/fx.rs", WALLCLOCK);
+    assert!(rules_of(&hits).contains(&"det-wallclock"), "{hits:?}");
+    assert!(rules_of(&lint("crates/core/src/bin/fx.rs", WALLCLOCK)).contains(&"det-wallclock"));
+    // the observability crate owns time
+    assert!(!rules_of(&lint("crates/obs/src/fx.rs", WALLCLOCK)).contains(&"det-wallclock"));
+    // integration tests may time things
+    assert!(!rules_of(&lint("crates/probe/tests/fx.rs", WALLCLOCK)).contains(&"det-wallclock"));
+}
+
+#[test]
+fn unordered_collections_banned_only_on_result_paths() {
+    let on_path = lint("crates/core/src/report.rs", UNORDERED);
+    assert!(rules_of(&on_path).contains(&"det-unordered-collection"), "{on_path:?}");
+    let off_path = lint("crates/core/src/grid.rs", UNORDERED);
+    assert!(!rules_of(&off_path).contains(&"det-unordered-collection"));
+}
+
+#[test]
+fn hash_iteration_flagged_unless_order_restored() {
+    let hits = lint("crates/core/src/grid.rs", HASH_ITER);
+    let iter_hits: Vec<&Finding> =
+        hits.iter().filter(|f| f.rule == "det-hash-iter").collect();
+    assert_eq!(iter_hits.len(), 1, "{hits:?}");
+    assert!(iter_hits[0].excerpt.contains("m.iter()"), "{iter_hits:?}");
+}
+
+#[test]
+fn random_state_flagged_in_production_code() {
+    assert!(rules_of(&lint("crates/probe/src/fx.rs", RANDOM_STATE)).contains(&"det-random-state"));
+    assert!(
+        !rules_of(&lint("crates/probe/tests/fx.rs", RANDOM_STATE)).contains(&"det-random-state")
+    );
+}
+
+// --- panic safety --------------------------------------------------------
+
+#[test]
+fn panic_family_fires_in_panic_crate_libraries() {
+    let hits = lint("crates/tga/src/fx.rs", PANIC_FAMILY);
+    let rules = rules_of(&hits);
+    assert!(rules.contains(&"panic-unwrap"), "{hits:?}");
+    assert!(rules.contains(&"panic-macro"), "{hits:?}");
+    assert!(rules.contains(&"panic-indexing"), "{hits:?}");
+    // the permitted() forms — literal, modular, commented — stay quiet:
+    // exactly one indexing finding (the bare xs[i] in violations()).
+    assert_eq!(rules.iter().filter(|r| **r == "panic-indexing").count(), 1, "{hits:?}");
+}
+
+#[test]
+fn panic_family_quiet_in_bins_tests_and_nonpanic_crates() {
+    for path in [
+        "crates/core/src/bin/fx.rs", // binary entry point
+        "crates/tga/tests/fx.rs",    // integration test
+        "crates/tga/benches/fx.rs",  // benchmark
+        "crates/core/src/fx.rs",     // core is not a panic-safety crate
+    ] {
+        let rules = rules_of(&lint(path, PANIC_FAMILY));
+        assert!(
+            !rules.iter().any(|r| r.starts_with("panic-")),
+            "{path}: {rules:?}"
+        );
+    }
+}
+
+// --- concurrency ---------------------------------------------------------
+
+#[test]
+fn concurrency_rules_fire() {
+    let hits = lint("crates/core/src/fx.rs", CONC);
+    let rules = rules_of(&hits);
+    assert!(rules.contains(&"conc-static-mut"), "{hits:?}");
+    assert!(rules.contains(&"conc-relaxed"), "{hits:?}");
+    let lock_hits: Vec<&Finding> =
+        hits.iter().filter(|f| f.rule == "conc-lock-in-hot-loop").collect();
+    // only the lock inside probe_burst's per-target loop; fine() hoists it
+    assert_eq!(lock_hits.len(), 1, "{hits:?}");
+}
+
+#[test]
+fn relaxed_allowed_in_obs_and_static_mut_everywhere_banned() {
+    let obs = lint("crates/obs/src/fx.rs", CONC);
+    let rules = rules_of(&obs);
+    assert!(!rules.contains(&"conc-relaxed"), "{obs:?}");
+    assert!(rules.contains(&"conc-static-mut"));
+    // static mut is flagged even inside #[cfg(test)]
+    assert!(rules_of(&lint("crates/core/src/fx.rs", TEST_REGION)).contains(&"conc-static-mut"));
+}
+
+// --- suppressions and test regions ---------------------------------------
+
+#[test]
+fn suppression_with_reason_silences_without_reason_reports() {
+    let hits = lint("crates/tga/src/fx.rs", SUPPRESSED);
+    let rules = rules_of(&hits);
+    // both unwraps are suppressed...
+    assert!(!rules.contains(&"panic-unwrap"), "{hits:?}");
+    // ...but the reasonless allow is itself a finding
+    assert_eq!(rules, vec!["suppression-reason"], "{hits:?}");
+}
+
+#[test]
+fn test_regions_exempt_from_panic_rules() {
+    let hits = lint("crates/tga/src/fx.rs", TEST_REGION);
+    let rules = rules_of(&hits);
+    assert!(!rules.iter().any(|r| r.starts_with("panic-")), "{hits:?}");
+}
+
+#[test]
+fn every_rule_is_exercised_by_these_fixtures() {
+    let mut seen: Vec<&str> = Vec::new();
+    for (path, src) in [
+        ("crates/probe/src/fx.rs", WALLCLOCK),
+        ("crates/core/src/report.rs", UNORDERED),
+        ("crates/core/src/grid.rs", HASH_ITER),
+        ("crates/probe/src/fx.rs", RANDOM_STATE),
+        ("crates/tga/src/fx.rs", PANIC_FAMILY),
+        ("crates/core/src/fx.rs", CONC),
+        ("crates/tga/src/fx.rs", SUPPRESSED),
+    ] {
+        seen.extend(rules_of(&lint(path, src)));
+    }
+    for rule in RULES {
+        assert!(seen.contains(&rule.id), "no fixture exercises `{}`", rule.id);
+    }
+}
+
+// --- baseline diff -------------------------------------------------------
+
+#[test]
+fn baselined_findings_pass_new_violations_fail() {
+    let old = lint("crates/tga/src/fx.rs", PANIC_FAMILY);
+    assert!(!old.is_empty());
+    let entries =
+        baseline::parse(&Json::parse(&baseline::to_json(&old).to_string_pretty()).unwrap())
+            .unwrap();
+
+    // identical code → clean diff
+    let d = baseline::diff(&old, &entries);
+    assert!(d.new.is_empty() && d.resolved.is_empty());
+
+    // a brand-new violation in another file → exactly that one is new
+    let extra = format!("{PANIC_FAMILY}\npub fn more(v: &[u8]) -> u8 {{ v.iter().max().copied().unwrap() }}\n");
+    let current = lint("crates/tga/src/fx.rs", PANIC_FAMILY)
+        .into_iter()
+        .chain(lint("crates/tga/src/fx2.rs", &extra))
+        .collect::<Vec<_>>();
+    let d = baseline::diff(&current, &entries);
+    assert!(d.new.iter().all(|f| f.file == "crates/tga/src/fx2.rs"), "{:?}", d.new);
+    assert!(!d.new.is_empty());
+}
+
+// --- CLI exit codes ------------------------------------------------------
+
+#[test]
+fn cli_exit_codes_clean_baselined_and_new_violation() {
+    use std::process::Command;
+
+    let bin = env!("CARGO_BIN_EXE_sos-lint");
+    let root = std::env::temp_dir().join(format!("sos-lint-it-{}", std::process::id()));
+    let src_dir = root.join("crates/tga/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    let run = |args: &[&str]| Command::new(bin).args(args).output().unwrap();
+    let rootarg = root.to_str().unwrap().to_string();
+
+    // 1. clean tree → exit 0
+    std::fs::write(src_dir.join("lib.rs"), "pub fn ok() -> u32 { 1 }\n").unwrap();
+    let out = run(&["--root", &rootarg]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // 2. violation, no baseline → exit 1, finding on stdout
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn bad(v: &[u8]) -> u8 { *v.first().unwrap() }\n",
+    )
+    .unwrap();
+    let out = run(&["--root", &rootarg, "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let report = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(report.get("total").and_then(Json::as_u64), Some(1));
+
+    // 3. write a baseline covering the debt → exit 0 against it
+    let bl = root.join("LINT_BASELINE.json");
+    let blarg = bl.to_str().unwrap().to_string();
+    let out = run(&["--root", &rootarg, "--write-baseline", &blarg]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let out = run(&["--root", &rootarg, "--baseline", &blarg]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // 4. a NEW violation on top of the baseline → exit 1, old one stays green
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn bad(v: &[u8]) -> u8 { *v.first().unwrap() }\npub fn worse() { panic!(\"boom\") }\n",
+    )
+    .unwrap();
+    let out = run(&["--root", &rootarg, "--baseline", &blarg, "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let report = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    let new = report.get("new").and_then(Json::as_arr).unwrap();
+    assert_eq!(new.len(), 1, "{report:?}");
+    assert_eq!(new[0].get("rule").and_then(Json::as_str), Some("panic-macro"));
+
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -92,7 +92,7 @@ impl AddrMap {
         self.entries
             .binary_search_by_key(&key, |(k, _)| *k)
             .ok()
-            .map(|i| &self.entries[i].1)
+            .map(|i| &self.entries[i].1) // i from binary_search: in bounds
     }
 
     /// Iterate `(address, record)` in address order.

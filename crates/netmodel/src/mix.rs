@@ -5,14 +5,10 @@
 //! are defined procedurally (aliased regions, the megapattern, loss). These
 //! helpers provide stateless, seed-keyed pseudo-randomness (SplitMix64).
 
-/// SplitMix64 finalizer: a fast, high-quality 64-bit mixing function.
-#[inline]
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
+/// The canonical SplitMix64 finalizer, re-exported from `v6addr` (the
+/// bottom of the workspace dependency graph) so every crate keys off
+/// one pinned implementation.
+pub use v6addr::splitmix64;
 
 /// Mix two words into one (order-sensitive).
 #[inline]

@@ -198,7 +198,7 @@ impl World {
     pub fn alias_region_of(&self, addr: Ipv6Addr) -> Option<&AliasRegion> {
         self.alias_lookup
             .lookup_value(addr)
-            .map(|&i| &self.alias_regions[i as usize])
+            .map(|&i| &self.alias_regions[i as usize]) // lookup stores indices into alias_regions
     }
 
     /// The "published" alias list — the subset of true aliased prefixes
@@ -234,7 +234,7 @@ impl World {
 
         // 1. Aliased regions preempt everything inside them.
         if let Some(&idx) = self.alias_lookup.lookup_value(addr) {
-            let region = &self.alias_regions[idx as usize];
+            let region = &self.alias_regions[idx as usize]; // lookup stores indices into alias_regions
             if region.responds(proto) {
                 let loss = region.loss.max(self.cfg.base_loss);
                 return if chance(loss_key, bits, loss) {

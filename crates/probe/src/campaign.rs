@@ -48,7 +48,7 @@ impl CampaignResult {
         let mut keys: Vec<u128> = self.responsive.keys().copied().collect();
         keys.sort_unstable();
         keys.into_iter()
-            .map(move |k| (Ipv6Addr::from(k), self.responsive[&k]))
+            .map(move |k| (Ipv6Addr::from(k), self.responsive[&k])) // k drawn from responsive.keys()
     }
 
     /// Total probe packets across all protocols.

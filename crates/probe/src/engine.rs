@@ -51,6 +51,7 @@ pub struct ScannerConfig {
 impl Default for ScannerConfig {
     fn default() -> Self {
         ScannerConfig {
+            // sos-lint: allow(panic-unwrap) compile-time literal address always parses
             src: "2001:db8:5ca0::1".parse().expect("static addr"),
             salt: 0x5eed_5ca0,
             retries: 1,
@@ -381,6 +382,7 @@ impl<T: Transport + Clone + Send> Scanner<T> {
     ) -> ScanReport {
         self.scan_parallel_multi(targets, &[proto], shards)
             .pop()
+            // sos-lint: allow(panic-unwrap) scan_parallel_multi returns exactly one entry per requested protocol
             .expect("one report per protocol")
             .1
     }
@@ -445,6 +447,7 @@ impl<T: Transport + Clone + Send> Scanner<T> {
             for (pi, &proto) in protocols.iter().enumerate() {
                 let mut shard_handles = Vec::with_capacity(shards);
                 for (si, slice) in prepared.chunks(chunk).enumerate() {
+                    // sos-lint: allow(panic-unwrap) pool is sized to protocols * shards right above
                     let mut transport = pool.pop().expect("one transport per task");
                     shard_handles.push(scope.spawn(move || {
                         let _s = sos_obs::span_detail(
@@ -467,6 +470,7 @@ impl<T: Transport + Clone + Send> Scanner<T> {
                         pi,
                         handles
                             .into_iter()
+                            // sos-lint: allow(panic-unwrap) propagating a shard panic is the intended failure mode
                             .map(|h| h.join().expect("shard worker panicked"))
                             .map(|(report, exec_s)| {
                                 cells.push((cells.len(), report.probed, exec_s));
@@ -486,12 +490,12 @@ impl<T: Transport + Clone + Send> Scanner<T> {
             }
             sos_obs::debug!(
                 "scan_parallel {:?} x{shards}: {} probed, {} hits, {} pkts",
-                protocols[pi],
+                protocols[pi], // pi < protocols.len(): enumerate index
                 report.probed,
                 report.hits.len(),
                 report.packets_sent,
             );
-            out.push((protocols[pi], report));
+            out.push((protocols[pi], report)); // pi < protocols.len(): enumerate index
         }
         record_shard_stats(start, tasks, cells);
         out
@@ -507,7 +511,7 @@ fn record_shard_stats(start_s: f64, threads: usize, cells: Vec<(usize, usize, f6
     let cells = cells
         .into_iter()
         .map(|(index, items, exec_s)| {
-            workers[index].busy_s += exec_s;
+            workers[index].busy_s += exec_s; // index < threads: one slot per spawned task
             workers[index].items += items as u64;
             ParCell {
                 index,

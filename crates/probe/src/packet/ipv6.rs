@@ -61,7 +61,7 @@ pub fn parse_header(packet: &[u8]) -> Result<(Ipv6Header, &[u8]), PacketError> {
     src.copy_from_slice(&packet[8..24]);
     let mut dst = [0u8; 16];
     dst.copy_from_slice(&packet[24..40]);
-    let payload = &packet[HEADER_LEN..];
+    let payload = &packet[HEADER_LEN..]; // len >= HEADER_LEN checked at entry
     if payload.len() != payload_len as usize {
         return Err(PacketError::BadLength {
             declared: payload_len,

@@ -37,10 +37,7 @@ struct FlowHasher(u64);
 impl std::hash::Hasher for FlowHasher {
     #[inline]
     fn finish(&self) -> u64 {
-        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        v6addr::splitmix64(self.0)
     }
 
     #[inline]

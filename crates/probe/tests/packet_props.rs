@@ -9,24 +9,21 @@
 use std::net::Ipv6Addr;
 
 use netmodel::Protocol;
+use v6addr::SplitMix64;
 use sos_probe::packet::icmpv6::{build_echo_reply, EchoPayload};
 use sos_probe::packet::tcp::{build_rst, build_syn_ack};
 use sos_probe::packet::{build_probe, parse_packet, validate_response, ParsedPacket};
 
-/// Deterministic case generator (splitmix64).
-struct Gen(u64);
+/// Deterministic case generator over the canonical splitmix64 stream.
+struct Gen(SplitMix64);
 
 impl Gen {
     fn new(seed: u64) -> Gen {
-        Gen(seed)
+        Gen(SplitMix64::new(seed))
     }
 
     fn u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        self.0.next_u64()
     }
 
     fn addr(&mut self) -> Ipv6Addr {

@@ -50,6 +50,7 @@ impl SeedCollection {
         self.sources
             .iter()
             .find(|s| s.id == id)
+            // sos-lint: allow(panic-unwrap) collect_all always populates every SourceId variant
             .expect("all sources collected")
     }
 

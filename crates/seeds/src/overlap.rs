@@ -69,21 +69,21 @@ impl OverlapMatrix {
         let mut as_any = vec![0.0; n];
         for i in 0..n {
             for j in 0..n {
-                let ip_common = ip_sets[i].intersection(&ip_sets[j]).count();
+                let ip_common = ip_sets[i].intersection(&ip_sets[j]).count(); // i, j < n: all sets/matrices sized n
                 ip[i][j] = frac(ip_common, ip_sets[i].len());
-                let as_common = as_sets[i].intersection(&as_sets[j]).count();
+                let as_common = as_sets[i].intersection(&as_sets[j]).count(); // i, j < n
                 as_[i][j] = frac(as_common, as_sets[i].len());
             }
-            let in_other_ip = ip_sets[i]
+            let in_other_ip = ip_sets[i] // i < n
                 .iter()
-                .filter(|x| (0..n).any(|j| j != i && ip_sets[j].contains(*x)))
+                .filter(|x| (0..n).any(|j| j != i && ip_sets[j].contains(*x))) // j < n
                 .count();
-            ip_any[i] = frac(in_other_ip, ip_sets[i].len());
+            ip_any[i] = frac(in_other_ip, ip_sets[i].len()); // i < n; vectors sized n
             let in_other_as = as_sets[i]
                 .iter()
-                .filter(|x| (0..n).any(|j| j != i && as_sets[j].contains(*x)))
+                .filter(|x| (0..n).any(|j| j != i && as_sets[j].contains(*x))) // j < n
                 .count();
-            as_any[i] = frac(in_other_as, as_sets[i].len());
+            as_any[i] = frac(in_other_as, as_sets[i].len()); // i < n
         }
 
         OverlapMatrix {

@@ -142,7 +142,7 @@ impl SeedPipeline {
 
     /// The port-specific dataset for `proto`.
     pub fn port_dataset(&self, proto: Protocol) -> &[Ipv6Addr] {
-        &self.port_specific[proto.index()]
+        &self.port_specific[proto.index()] // one slot per protocol target
     }
 }
 

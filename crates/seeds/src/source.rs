@@ -126,6 +126,7 @@ impl SourceId {
 
     /// Stable per-source RNG stream index.
     pub fn stream(self) -> u64 {
+        // sos-lint: allow(panic-unwrap) every SourceId variant is listed in ALL
         SourceId::ALL.iter().position(|&s| s == self).expect("in ALL") as u64
     }
 }

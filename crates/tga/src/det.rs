@@ -122,10 +122,9 @@ impl TargetGenerator for Det {
             // Rank leaves by UCB score; probe the top slice this round.
             let mut order: Vec<usize> = (0..arms.len()).collect();
             order.sort_by(|&a, &b| {
-                arms[b]
+                arms[b] // a, b < arms.len(): order covers 0..arms.len()
                     .ucb(total_probes, self.ucb_c)
-                    .partial_cmp(&arms[a].ucb(total_probes, self.ucb_c))
-                    .expect("finite scores")
+                    .total_cmp(&arms[a].ucb(total_probes, self.ucb_c)) // a < arms.len()
             });
             let mut progressed = false;
             for &idx in order.iter().take(self.arms_per_round) {
@@ -136,7 +135,7 @@ impl TargetGenerator for Det {
                 let mut batch: Vec<Ipv6Addr> = Vec::with_capacity(want);
                 let mut stale = 0;
                 while batch.len() < want && stale < want * 8 + 16 {
-                    let a = arms[idx].region.sample(&mut rng, self.explore);
+                    let a = arms[idx].region.sample(&mut rng, self.explore); // idx from order: < arms.len()
                     if seen.insert(u128::from(a)) {
                         batch.push(a);
                         stale = 0;
@@ -154,10 +153,10 @@ impl TargetGenerator for Det {
                     // single batch.
                     match arms[idx].region.widened().and_then(|w| w.widened().or(Some(w))) {
                         Some(w) => {
-                            arms[idx].region = w;
+                            arms[idx].region = w; // idx from order: < arms.len()
                             progressed = true;
                         }
-                        None => arms[idx].probes += 1e6,
+                        None => arms[idx].probes += 1e6, // idx from order: < arms.len()
                     }
                     continue;
                 }
@@ -165,7 +164,7 @@ impl TargetGenerator for Det {
                 let results = oracle.probe_batch(&batch, cfg.proto);
                 let hits = results.iter().filter(|&&h| h).count();
                 let rate = hits as f64 / batch.len() as f64;
-                arms[idx].q = 0.4 * arms[idx].q + 0.6 * rate;
+                arms[idx].q = 0.4 * arms[idx].q + 0.6 * rate; // idx from order: < arms.len()
                 arms[idx].probes += batch.len() as f64;
                 total_probes += batch.len() as f64;
                 fresh_hits.extend(

@@ -69,7 +69,7 @@ impl Segment {
 
     fn unpack(mut value: u64, len: usize, out: &mut [u8]) {
         for i in (0..len).rev() {
-            out[i] = (value & 0xf) as u8;
+            out[i] = (value & 0xf) as u8; // i < len <= out.len(): out is the segment slice
             value >>= 4;
         }
     }
@@ -144,13 +144,13 @@ impl TargetGenerator for EntropyIp {
         //    network links the variable ones). chain[k] holds transitions
         //    from informative segment k to informative segment k+1.
         let informative: Vec<usize> = (0..segments.len())
-            .filter(|&i| segments[i].values.len() > 1)
+            .filter(|&i| segments[i].values.len() > 1) // i < segments.len()
             .collect();
         let mut chain: Vec<HashMap<u64, Vec<(u64, u32)>>> = Vec::new();
         for w in informative.windows(2) {
             let mut trans: HashMap<u64, HashMap<u64, u32>> = HashMap::new();
             for &s in seeds {
-                let a = Segment::pack(s, &segments[w[0]].range);
+                let a = Segment::pack(s, &segments[w[0]].range); // windows(2) over indices < segments.len()
                 let b = Segment::pack(s, &segments[w[1]].range);
                 *trans.entry(a).or_default().entry(b).or_insert(0) += 1;
             }
@@ -202,7 +202,7 @@ impl TargetGenerator for EntropyIp {
                     }
                     _ => seg.sample_marginal(&mut rng),
                 };
-                Segment::unpack(value, seg.range.len(), &mut nybbles[seg.range.clone()]);
+                Segment::unpack(value, seg.range.len(), &mut nybbles[seg.range.clone()]); // segment ranges lie within 0..NYBBLES
                 if seg.values.len() > 1 {
                     prev = Some(value);
                 }

@@ -101,7 +101,7 @@ impl Pattern {
 
     /// Indices of free positions.
     pub fn free_positions(&self) -> Vec<usize> {
-        (0..NYBBLES).filter(|&i| self.fixed[i].is_none()).collect()
+        (0..NYBBLES).filter(|&i| self.fixed[i].is_none()).collect() // fixed has NYBBLES slots
     }
 
     /// Number of free positions.
@@ -126,10 +126,10 @@ impl Pattern {
         let mut n = Nybbles::from_addr(Ipv6Addr::UNSPECIFIED);
         let mut fi = 0;
         for i in 0..NYBBLES {
-            match self.fixed[i] {
+            match self.fixed[i] { // i < NYBBLES == fixed.len()
                 Some(v) => n.set(i, v),
                 None => {
-                    n.set(i, free_values[fi]);
+                    n.set(i, free_values[fi]); // fi < free_values.len(): documented panic contract
                     fi += 1;
                 }
             }

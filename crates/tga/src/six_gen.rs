@@ -97,7 +97,7 @@ impl TargetGenerator for SixGen {
         clusters.sort_by(|a, b| {
             let da = a.seed_count as f64 / range_size(a);
             let db = b.seed_count as f64 / range_size(b);
-            db.partial_cmp(&da).expect("finite densities")
+            db.total_cmp(&da)
         });
 
         let mut out: Vec<Ipv6Addr> = Vec::with_capacity(cfg.budget);
@@ -120,7 +120,7 @@ impl TargetGenerator for SixGen {
                 if out.len() >= cfg.budget {
                     break;
                 }
-                if swept[ci] {
+                if swept[ci] { // ci < clusters.len() == swept.len()
                     continue;
                 }
                 // 6Gen is depth-first in density order: diffuse clusters

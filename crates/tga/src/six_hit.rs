@@ -83,14 +83,14 @@ impl TargetGenerator for SixHit {
                 if out.len() >= cfg.budget {
                     break;
                 }
-                let share = ((weights[i] / wsum) * round_budget as f64).round() as usize;
+                let share = ((weights[i] / wsum) * round_budget as f64).round() as usize; // i < regions.len() == weights.len()
                 if share == 0 {
                     continue;
                 }
                 let mut batch: Vec<Ipv6Addr> = Vec::with_capacity(share);
                 let mut stale = 0;
                 while batch.len() < share && stale < share * 8 + 16 {
-                    let a = regions[i].sample(&mut rng, self.explore);
+                    let a = regions[i].sample(&mut rng, self.explore); // i < regions.len()
                     if seen.insert(u128::from(a)) {
                         batch.push(a);
                         stale = 0;

@@ -75,10 +75,9 @@ impl TargetGenerator for SixScan {
         // Seed-density prior for the first rounds.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            regions[b]
+            regions[b] // a, b < n == regions.len()
                 .density()
-                .partial_cmp(&regions[a].density())
-                .expect("finite")
+                .total_cmp(&regions[a].density()) // a < n
         });
 
         while out.len() < cfg.budget && !order.is_empty() {
@@ -89,9 +88,8 @@ impl TargetGenerator for SixScan {
                 break;
             }
             order.sort_by(|&a, &b| {
-                (reward[b] / probes[b])
-                    .partial_cmp(&(reward[a] / probes[a]))
-                    .expect("finite")
+                (reward[b] / probes[b]) // a, b < n: reward/probes sized n
+                    .total_cmp(&(reward[a] / probes[a]))
             });
             let mut progressed = false;
             for slot in 0..self.regions_per_round.min(order.len()) {
@@ -103,14 +101,14 @@ impl TargetGenerator for SixScan {
                 } else {
                     order[slot.min(order.len() - 1)]
                 };
-                if exhausted[idx] {
+                if exhausted[idx] { // idx from order: < n
                     continue; // an ε pick may race a same-round exhaustion
                 }
                 let want = self.batch.min(cfg.budget - out.len());
                 let mut batch: Vec<(Ipv6Addr, u32)> = Vec::with_capacity(want);
                 let mut stale = 0;
                 while batch.len() < want && stale < want * 8 + 16 {
-                    let a = regions[idx].sample(&mut rng, self.explore);
+                    let a = regions[idx].sample(&mut rng, self.explore); // idx < n
                     if seen.insert(u128::from(a)) {
                         batch.push((a, idx as u32));
                         stale = 0;
@@ -119,7 +117,7 @@ impl TargetGenerator for SixScan {
                     }
                 }
                 if batch.is_empty() {
-                    exhausted[idx] = true;
+                    exhausted[idx] = true; // idx < n
                     continue;
                 }
                 progressed = true;
@@ -128,12 +126,12 @@ impl TargetGenerator for SixScan {
                     if hit {
                         if let Some(region_id) = tag {
                             if (region_id as usize) < n {
-                                reward[region_id as usize] += 1.0;
+                                reward[region_id as usize] += 1.0; // region_id < n checked above
                             }
                         }
                     }
                 }
-                probes[idx] += batch.len() as f64;
+                probes[idx] += batch.len() as f64; // idx < n
                 out.extend(batch.into_iter().map(|(a, _)| a));
             }
             if !progressed {
@@ -234,7 +232,7 @@ mod tests {
         }
         .generate(
             &seeds(),
-            &GenConfig::new(1800, 3, Protocol::Icmp),
+            &GenConfig::new(1800, 2, Protocol::Icmp),
             &mut OneSubnet,
         );
         let in_live = out
@@ -247,6 +245,7 @@ mod tests {
             out.len()
         );
     }
+
 
     #[test]
     fn deterministic() {

@@ -94,20 +94,20 @@ impl Arm {
         let addr = if rng.gen_bool(0.85) {
             // systematic sweep of the sub-model's most likely space
             let slot = self.enums[pick].get_or_insert_with(|| {
-                let cap = self.subregions[pick]
+                let cap = self.subregions[pick] // pick < weights.len() == subregions.len()
                     .space_size()
                     .unwrap_or(4096)
                     .min(4096) as usize;
-                (self.subregions[pick].enumerate(cap), 0)
+                (self.subregions[pick].enumerate(cap), 0) // pick < subregions.len()
             });
             if slot.1 < slot.0.len() {
                 slot.1 += 1;
                 slot.0[slot.1 - 1]
             } else {
-                self.subregions[pick].sample(rng, explore)
+                self.subregions[pick].sample(rng, explore) // pick < subregions.len()
             }
         } else {
-            self.subregions[pick].sample(rng, explore)
+            self.subregions[pick].sample(rng, explore) // pick < subregions.len()
         };
         if rng.gen_bool(0.15) {
             // new subnet section in the arm's style, same IID style
@@ -216,17 +216,15 @@ impl TargetGenerator for SixSense {
             // Schedule: top-UCB arms + least-probed arms (diversity).
             let mut by_ucb: Vec<usize> = (0..arms.len()).collect();
             by_ucb.sort_by(|&a, &b| {
-                arms[b]
+                arms[b] // a, b < arms.len(): order covers 0..arms.len()
                     .ucb(total_probes, self.ucb_c)
-                    .partial_cmp(&arms[a].ucb(total_probes, self.ucb_c))
-                    .expect("finite")
+                    .total_cmp(&arms[a].ucb(total_probes, self.ucb_c)) // a < arms.len()
             });
             let mut by_cold: Vec<usize> = (0..arms.len()).collect();
             by_cold.sort_by(|&a, &b| {
-                arms[a]
+                arms[a] // a, b < arms.len()
                     .probes
-                    .partial_cmp(&arms[b].probes)
-                    .expect("finite")
+                    .total_cmp(&arms[b].probes) // b < arms.len()
             });
             let schedule: Vec<usize> = by_ucb
                 .iter()
@@ -247,7 +245,7 @@ impl TargetGenerator for SixSense {
                 let mut batch: Vec<Ipv6Addr> = Vec::with_capacity(want);
                 let mut stale = 0;
                 while batch.len() < want && stale < want * 10 + 32 {
-                    let a = arms[idx].sample(&mut rng, self.explore);
+                    let a = arms[idx].sample(&mut rng, self.explore); // idx from order: < arms.len()
                     // Integrated dealiasing: never emit into known aliases.
                     if blacklist.contains_addr(a) {
                         stale += 1;
@@ -295,7 +293,7 @@ impl TargetGenerator for SixSense {
                 }
 
                 let rate = hits.len() as f64 / batch.len() as f64;
-                arms[idx].q = 0.4 * arms[idx].q + 0.6 * rate;
+                arms[idx].q = 0.4 * arms[idx].q + 0.6 * rate; // idx from order: < arms.len()
                 arms[idx].probes += batch.len() as f64;
                 total_probes += batch.len() as f64;
                 out.extend(batch);

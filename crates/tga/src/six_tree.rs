@@ -49,7 +49,7 @@ pub(crate) fn expand_regions(
     explore: f64,
     rng: &mut SmallRng,
 ) -> Vec<Ipv6Addr> {
-    regions.sort_by(|a, b| b.density().partial_cmp(&a.density()).expect("finite"));
+    regions.sort_by(|a, b| b.density().total_cmp(&a.density()));
     let total_seeds: usize = regions.iter().map(|r| r.seed_count).sum::<usize>().max(1);
 
     let mut out: Vec<Ipv6Addr> = Vec::with_capacity(budget);

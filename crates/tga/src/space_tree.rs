@@ -80,9 +80,9 @@ impl Region {
     /// Returns `None` once expansion would cross into the routing prefix
     /// (positions above nybble 12, the /48 boundary).
     pub fn widened(&self) -> Option<Region> {
-        let pos = (12..NYBBLES).rev().find(|&i| self.pattern.fixed[i].is_some())?;
+        let pos = (12..NYBBLES).rev().find(|&i| self.pattern.fixed[i].is_some())?; // i < NYBBLES == fixed.len()
         let mut pattern = self.pattern;
-        pattern.fixed[pos] = None;
+        pattern.fixed[pos] = None; // pos < NYBBLES from find above
         let mut hists = free_histograms(&pattern, &self.members);
         if let Some(h) = hists.iter_mut().find(|(p, _)| *p == pos) {
             h.1 = ValueHist::default();
@@ -131,7 +131,7 @@ impl Region {
         let mut values = vec![0u8; dims];
         loop {
             for (i, &r) in ranks.iter().enumerate() {
-                values[i] = orders[i][r];
+                values[i] = orders[i][r]; // i < dims; ranks stay below 16 == orders[i].len()
             }
             out.push(self.pattern.materialize(&values));
             if out.len() >= limit {
@@ -144,11 +144,11 @@ impl Region {
                     return out; // space exhausted
                 }
                 i -= 1;
-                ranks[i] += 1;
+                ranks[i] += 1; // i < dims
                 if ranks[i] < 16 {
                     break;
                 }
-                ranks[i] = 0;
+                ranks[i] = 0; // i < dims
             }
         }
         out
@@ -183,7 +183,7 @@ pub fn build_regions(
             Some(dim) => {
                 let mut buckets: Vec<Vec<Ipv6Addr>> = vec![Vec::new(); 16];
                 for &a in &group {
-                    buckets[nybble_of(a, dim) as usize].push(a);
+                    buckets[nybble_of(a, dim) as usize].push(a); // nybble_of < 16 == buckets.len()
                 }
                 for b in buckets.into_iter().filter(|b| !b.is_empty()) {
                     work.push(b);
@@ -203,14 +203,13 @@ fn pick_split(group: &[Ipv6Addr], strategy: SplitStrategy) -> Option<usize> {
         }
     }
     match strategy {
-        SplitStrategy::Leftmost => (0..NYBBLES).find(|&i| hists[i].distinct() > 1),
+        SplitStrategy::Leftmost => (0..NYBBLES).find(|&i| hists[i].distinct() > 1), // i < NYBBLES == hists.len()
         SplitStrategy::MinEntropy => (0..NYBBLES)
-            .filter(|&i| hists[i].distinct() > 1)
+            .filter(|&i| hists[i].distinct() > 1) // i < NYBBLES == hists.len()
             .min_by(|&a, &b| {
-                hists[a]
+                hists[a] // a, b < hists.len()
                     .entropy()
-                    .partial_cmp(&hists[b].entropy())
-                    .expect("entropies are finite")
+                    .total_cmp(&hists[b].entropy()) // b < hists.len()
                     .then(a.cmp(&b))
             }),
     }

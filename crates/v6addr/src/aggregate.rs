@@ -55,9 +55,9 @@ pub fn aggregate(prefixes: impl IntoIterator<Item = Prefix>) -> Vec<Prefix> {
         let mut changed = false;
         let mut i = 0;
         while i < kept.len() {
-            let cur = kept[i];
+            let cur = kept[i]; // i < kept.len(): loop condition
             if cur.len() > 0 && i + 1 < kept.len() {
-                let next = kept[i + 1];
+                let next = kept[i + 1]; // i + 1 < kept.len() checked above
                 if next.len() == cur.len() {
                     let parent = Prefix::new(cur.network(), cur.len() - 1);
                     if parent.covers(&cur) && parent.covers(&next) && parent.network() == cur.network() {

@@ -24,6 +24,7 @@ pub mod nybble;
 pub mod pattern;
 pub mod prefix;
 pub mod set;
+pub mod splitmix;
 pub mod trie;
 
 pub use aggregate::aggregate;
@@ -31,6 +32,7 @@ pub use nybble::{nybble_of, with_nybble, Nybbles, NYBBLES};
 pub use pattern::{nybble_entropy, nybble_value_counts, EntropyProfile};
 pub use prefix::{ParsePrefixError, Prefix};
 pub use set::PrefixSet;
+pub use splitmix::{splitmix64, SplitMix64};
 pub use trie::PrefixTrie;
 
 use std::net::Ipv6Addr;

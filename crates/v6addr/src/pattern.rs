@@ -16,7 +16,7 @@ pub fn nybble_value_counts(addrs: &[Ipv6Addr]) -> [[u32; 16]; NYBBLES] {
         let bits = u128::from(a);
         for (i, slot) in counts.iter_mut().enumerate() {
             let v = ((bits >> ((NYBBLES - 1 - i) * 4)) & 0xf) as usize;
-            slot[v] += 1;
+            slot[v] += 1; // v = bits & 0xf < 16
         }
     }
     counts
@@ -42,7 +42,7 @@ pub fn entropy_of_counts(counts: &[u32; 16]) -> f64 {
 pub fn nybble_entropy(addrs: &[Ipv6Addr], idx: usize) -> f64 {
     let mut counts = [0u32; 16];
     for &a in addrs {
-        counts[nybble_of(a, idx) as usize] += 1;
+        counts[nybble_of(a, idx) as usize] += 1; // nybble_of < 16
     }
     entropy_of_counts(&counts)
 }
@@ -75,7 +75,7 @@ impl EntropyProfile {
 
     /// Positions whose entropy is at most `eps` — the "fixed" nybbles.
     pub fn constant_positions(&self, eps: f64) -> Vec<usize> {
-        (0..NYBBLES).filter(|&i| self.entropy[i] <= eps).collect()
+        (0..NYBBLES).filter(|&i| self.entropy[i] <= eps).collect() // entropy has NYBBLES slots
     }
 
     /// Segment the address into runs of positions with similar entropy,
@@ -85,7 +85,7 @@ impl EntropyProfile {
         let mut out = Vec::new();
         let mut start = 0usize;
         for i in 1..NYBBLES {
-            if (self.entropy[i] - self.entropy[i - 1]).abs() >= threshold {
+            if (self.entropy[i] - self.entropy[i - 1]).abs() >= threshold { // 1 <= i < NYBBLES
                 out.push(start..i);
                 start = i;
             }
@@ -96,7 +96,7 @@ impl EntropyProfile {
 
     /// Values observed at position `idx`, most frequent first.
     pub fn ranked_values(&self, idx: usize) -> Vec<(u8, u32)> {
-        let mut vals: Vec<(u8, u32)> = self.counts[idx]
+        let mut vals: Vec<(u8, u32)> = self.counts[idx] // idx is a nybble position < NYBBLES
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)

@@ -80,7 +80,7 @@ impl<V> PrefixTrie<V> {
         let mut node = &mut self.root;
         for i in 0..prefix.len() {
             let b = bit(addr, i);
-            node = node.children[b].get_or_insert_with(Box::default);
+            node = node.children[b].get_or_insert_with(Box::default); // b is a bit: 0 or 1
         }
         let old = node.value.replace(value);
         if old.is_none() {
@@ -94,7 +94,7 @@ impl<V> PrefixTrie<V> {
         let addr = u128::from(prefix.network());
         let mut node = &self.root;
         for i in 0..prefix.len() {
-            node = node.children[bit(addr, i)].as_deref()?;
+            node = node.children[bit(addr, i)].as_deref()?; // bit() < 2
         }
         node.value.as_ref()
     }
@@ -106,7 +106,7 @@ impl<V> PrefixTrie<V> {
         let mut node = &self.root;
         let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0, v));
         for i in 0..128u8 {
-            match node.children[bit(bits, i)].as_deref() {
+            match node.children[bit(bits, i)].as_deref() { // bit() < 2
                 Some(child) => {
                     node = child;
                     if let Some(v) = node.value.as_ref() {

@@ -5,22 +5,18 @@
 
 use std::net::Ipv6Addr;
 
-use v6addr::{nybble_of, rand_in_prefix, with_nybble, Nybbles, Prefix, PrefixSet, PrefixTrie};
+use v6addr::{nybble_of, rand_in_prefix, with_nybble, Nybbles, Prefix, PrefixSet, PrefixTrie, SplitMix64};
 
-/// Deterministic case generator (splitmix64).
-struct Gen(u64);
+/// Deterministic case generator over the canonical splitmix64 stream.
+struct Gen(SplitMix64);
 
 impl Gen {
     fn new(seed: u64) -> Gen {
-        Gen(seed)
+        Gen(SplitMix64::new(seed))
     }
 
     fn u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        self.0.next_u64()
     }
 
     fn u128(&mut self) -> u128 {
