@@ -63,7 +63,7 @@ fn ablate_scanner_retries(c: &mut Criterion) {
             b.iter(|| {
                 let mut scanner = Scanner::new(
                     ScannerConfig {
-                        retries: r,
+                        retry: sos_probe::RetryPolicy::fixed(r),
                         rate_pps: None,
                         ..ScannerConfig::default()
                     },

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! seedscan <experiment> [--scale tiny|small|study] [--seed N] [--budget N]
-//!          [--threads N] [--scan-shards N] [--manifest FILE] [--trace FILE]
-//!          [--flame FILE]
+//!          [--threads N] [--scan-shards N] [--faults PRESET] [--breaker]
+//!          [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
+//!          [--stop-after N] [--manifest FILE] [--trace FILE] [--flame FILE]
 //!
 //! experiments:
 //!   summary      Table 3 + Table 8 (dataset composition)
@@ -18,8 +19,22 @@
 //!   as-kind      extension: Steger-style AS-category seed slices
 //!   budget-sweep extension: hits/ASes saturation vs generation budget
 //!   export       write grid + figure CSVs to ./export/
-//!   all          everything above
+//!   campaign     checkpointable multi-protocol scan of the full dataset
+//!                (hostile-network demo: --faults/--breaker/--checkpoint)
+//!   all          everything above except campaign
 //! ```
+//!
+//! `--scan-shards` must be ≥ 1: an explicit `0` is rejected here rather
+//! than silently normalized (the engine's `TokenBucket::split` and the
+//! scan pipeline clamp internal shard counts with `.max(1)`, but a user
+//! asking for zero shards is a configuration mistake, not a request for
+//! the sequential path). `--faults` selects a deterministic hostile-world
+//! preset (off, bursty, ratelimited, blackholes, throttled, hostile) baked
+//! into the world model; `--breaker` arms per-/48 circuit breakers;
+//! `--checkpoint FILE` + `--checkpoint-every N` write a resumable JSON
+//! checkpoint every N targets, and `--resume FILE` continues a killed
+//! campaign bit-identically (`--stop-after N` stops after N rounds to
+//! simulate the kill).
 //!
 //! Observability: progress and milestones go to stderr at the level
 //! selected by `SOS_LOG` (default `info` here; `debug` adds span-level
@@ -45,6 +60,12 @@ struct Args {
     budget: Option<usize>,
     threads: Option<usize>,
     scan_shards: Option<usize>,
+    faults: Option<String>,
+    breaker: bool,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<usize>,
+    resume: Option<String>,
+    stop_after: Option<usize>,
     manifest: Option<String>,
     trace: Option<String>,
     flame: Option<String>,
@@ -58,6 +79,12 @@ fn parse_args() -> Result<Args, String> {
         budget: None,
         threads: None,
         scan_shards: None,
+        faults: None,
+        breaker: false,
+        checkpoint: None,
+        checkpoint_every: None,
+        resume: None,
+        stop_after: None,
         manifest: None,
         trace: None,
         flame: None,
@@ -90,11 +117,37 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--scan-shards" => {
-                args.scan_shards = Some(
+                let n: usize = it
+                    .next()
+                    .ok_or("--scan-shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad shard count: {e}"))?;
+                if n == 0 {
+                    return Err(
+                        "--scan-shards must be >= 1 (use 1 for the sequential scan path)"
+                            .to_string(),
+                    );
+                }
+                args.scan_shards = Some(n)
+            }
+            "--faults" => args.faults = Some(it.next().ok_or("--faults needs a value")?),
+            "--breaker" => args.breaker = true,
+            "--checkpoint" => args.checkpoint = Some(it.next().ok_or("--checkpoint needs a value")?),
+            "--checkpoint-every" => {
+                args.checkpoint_every = Some(
                     it.next()
-                        .ok_or("--scan-shards needs a value")?
+                        .ok_or("--checkpoint-every needs a value")?
                         .parse()
-                        .map_err(|e| format!("bad shard count: {e}"))?,
+                        .map_err(|e| format!("bad checkpoint interval: {e}"))?,
+                )
+            }
+            "--resume" => args.resume = Some(it.next().ok_or("--resume needs a value")?),
+            "--stop-after" => {
+                args.stop_after = Some(
+                    it.next()
+                        .ok_or("--stop-after needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad round count: {e}"))?,
                 )
             }
             "--manifest" => args.manifest = Some(it.next().ok_or("--manifest needs a value")?),
@@ -114,8 +167,11 @@ fn parse_args() -> Result<Args, String> {
 fn usage() {
     eprintln!(
         "usage: seedscan <experiment> [--scale tiny|small|study] [--seed N] [--budget N]\n\
-         \u{20}                [--threads N] [--scan-shards N] [--manifest FILE] [--trace FILE] [--flame FILE]\n\
-         experiments: summary overlap rq1 rq2 rq3 rq4 appendix-d raw recommend as-kind budget-sweep export all\n\
+         \u{20}                [--threads N] [--scan-shards N] [--faults PRESET] [--breaker]\n\
+         \u{20}                [--checkpoint FILE] [--checkpoint-every N] [--resume FILE] [--stop-after N]\n\
+         \u{20}                [--manifest FILE] [--trace FILE] [--flame FILE]\n\
+         experiments: summary overlap rq1 rq2 rq3 rq4 appendix-d raw recommend as-kind budget-sweep export campaign all\n\
+         fault presets: off bursty ratelimited blackholes throttled hostile\n\
          env: SOS_LOG=off|error|warn|info|debug|trace (stderr verbosity, default info)"
     );
 }
@@ -149,6 +205,17 @@ fn main() -> ExitCode {
     // Scan sharding follows `--threads` unless `--scan-shards` says
     // otherwise; either way results are bit-identical to shards = 1.
     cfg.scan_shards = args.scan_shards.or(args.threads).unwrap_or(cfg.scan_shards).max(1);
+    let fault_preset = args.faults.clone().unwrap_or_else(|| "off".to_string());
+    match netmodel::FaultConfig::preset(&fault_preset) {
+        Some(f) => cfg.world.faults = f,
+        None => {
+            eprintln!(
+                "unknown fault preset: {fault_preset} \
+                 (expected off|bursty|ratelimited|blackholes|throttled|hostile)"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
     let manifest = RefCell::new(Manifest::new("seedscan"));
     {
@@ -161,6 +228,9 @@ fn main() -> ExitCode {
         m.config("scan_shards", cfg.scan_shards);
         m.config("scan_retries", cfg.scan_retries);
         m.config("gen_seed", cfg.gen_seed);
+        m.config("faults", fault_preset.as_str());
+        m.config("breaker", if args.breaker { "on" } else { "off" });
+        m.config("checkpoint_every", args.checkpoint_every.unwrap_or(0) as u64);
     }
     // Print a rendered result and record its digest for the manifest.
     let emit = |name: &str, text: String| {
@@ -312,6 +382,87 @@ fn main() -> ExitCode {
         let r = experiments::as_kind::run_by_kind(&study, &tga::TgaId::ALL);
         sos_obs::info!("as-kind in {:.1}s", sos_obs::now_s() - t);
         emit("as_kind", r.render(&study));
+    }
+    // Explicit-only (not part of `all`): the hostile-network campaign
+    // demo — fault injection, circuit breakers, checkpoint/resume.
+    if args.experiment == "campaign" {
+        use sos_probe::{
+            BreakerConfig, Campaign, CampaignCheckpoint, RetryPolicy, RunOptions, Scanner,
+            ScannerConfig, SimTransport,
+        };
+        let resume = match args.resume.as_deref() {
+            None => None,
+            Some(path) => match CampaignCheckpoint::load(std::path::Path::new(path)) {
+                Ok(c) => {
+                    sos_obs::info!("resuming from {path}: {} targets done, {} rounds", c.done, c.rounds);
+                    Some(c)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        let scan_cfg = ScannerConfig {
+            salt: args.seed ^ 0x5ca9,
+            retry: RetryPolicy::exponential(study.config().scan_retries + 1, 0.05),
+            breaker: args.breaker.then(BreakerConfig::default),
+            rate_pps: None,
+            ..ScannerConfig::default()
+        };
+        let mut scanner = Scanner::new(scan_cfg, SimTransport::new(study.world().clone()));
+        let mut campaign = Campaign::standard(&mut scanner);
+        let targets = study.pipeline().full.clone();
+        let opts = RunOptions {
+            shards: study.config().scan_shards,
+            checkpoint_every: args.checkpoint_every.unwrap_or(0),
+            checkpoint_path: args.checkpoint.as_ref().map(std::path::PathBuf::from),
+            cancel: None,
+            stop_after_rounds: args.stop_after,
+        };
+        let outcome = match campaign.run_with(&targets, &opts, resume.as_ref()) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut text = format!(
+            "Campaign over {} targets (faults={fault_preset}, breaker={}, shards={})\n\
+             completed={} rounds={} resumed_targets={}\n\
+             {:<7} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8}\n",
+            targets.len(),
+            if args.breaker { "on" } else { "off" },
+            opts.shards.max(1),
+            outcome.completed,
+            outcome.rounds,
+            outcome.resumed_targets,
+            "proto", "probed", "hits", "skipped", "retries", "packets", "faults", "opened",
+        );
+        for (proto, r) in &outcome.result.reports {
+            text.push_str(&format!(
+                "{:<7} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8}\n",
+                proto.label(),
+                r.probed,
+                r.hits.len(),
+                r.skipped,
+                r.retries,
+                r.packets_sent,
+                r.faults_injected,
+                r.breaker_opened,
+            ));
+        }
+        text.push_str(&format!(
+            "responsive on >=1 protocol: {}",
+            outcome.result.responsive_count()
+        ));
+        emit("campaign", text);
+        {
+            let mut m = manifest.borrow_mut();
+            for (name, value) in scanner.metrics().counters() {
+                m.set(&format!("campaign.{name}"), value);
+            }
+        }
     }
     if run("rq3") {
         let t = sos_obs::now_s();

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use dealias::{JointDealiaser, OfflineDealiaser, OnlineConfig, OnlineDealiaser};
 use netmodel::{Asn, Protocol, World};
 use seeds::{collect_all, SeedCollection, SeedPipeline};
-use sos_probe::{Scanner, ScannerConfig, SimTransport};
+use sos_probe::{RetryPolicy, Scanner, ScannerConfig, SimTransport};
 
 use crate::config::StudyConfig;
 use crate::metrics::RunMetrics;
@@ -99,7 +99,7 @@ impl Study {
         Scanner::new(
             ScannerConfig {
                 salt,
-                retries: cfg.scan_retries,
+                retry: RetryPolicy::fixed(cfg.scan_retries),
                 rate_pps: None, // virtual-time limiting is opt-in for scans
                 ..ScannerConfig::default()
             },

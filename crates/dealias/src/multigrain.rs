@@ -118,13 +118,13 @@ impl MultiGrainDealiaser {
 mod tests {
     use super::*;
     use netmodel::{World, WorldConfig};
-    use sos_probe::{NullOracle, Scanner, ScannerConfig, SimTransport};
+    use sos_probe::{NullOracle, RetryPolicy, Scanner, ScannerConfig, SimTransport};
     use std::sync::Arc;
 
     fn scanner(world: Arc<World>) -> Scanner<SimTransport> {
         Scanner::new(
             ScannerConfig {
-                retries: 2,
+                retry: RetryPolicy::fixed(2),
                 rate_pps: None,
                 ..ScannerConfig::default()
             },

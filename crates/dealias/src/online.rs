@@ -164,13 +164,13 @@ impl OnlineDealiaser {
 mod tests {
     use super::*;
     use netmodel::{World, WorldConfig};
-    use sos_probe::{NullOracle, Scanner, ScannerConfig, SimTransport};
+    use sos_probe::{NullOracle, RetryPolicy, Scanner, ScannerConfig, SimTransport};
     use std::sync::Arc;
 
     fn scanner(world: Arc<World>) -> Scanner<SimTransport> {
         Scanner::new(
             ScannerConfig {
-                retries: 2, // 3 attempts per probe, per §4.2
+                retry: RetryPolicy::fixed(2), // 3 attempts per probe, per §4.2
                 rate_pps: None,
                 ..ScannerConfig::default()
             },

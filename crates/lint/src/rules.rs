@@ -51,6 +51,11 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "std RandomState is seeded per process; nothing downstream of it can be reproducible",
     },
     RuleInfo {
+        id: "det-fault-entropy",
+        group: "determinism",
+        rationale: "fault-injection and retry code must draw all randomness from the seeded splitmix64 chain (netmodel::mix); thread_rng/from_entropy/OsRng/rand::random would make chaos schedules and backoff jitter unreproducible",
+    },
+    RuleInfo {
         id: "panic-unwrap",
         group: "panic-safety",
         rationale: "unwrap/expect in scan-path library code aborts the campaign on the first surprise; return Result or document why it cannot fail",
@@ -121,6 +126,10 @@ pub struct Config {
     pub result_path_files: Vec<String>,
     /// Function names whose per-target loops must stay lock-free.
     pub hot_fns: Vec<String>,
+    /// Workspace-relative path substrings of fault-injection / retry /
+    /// backoff files where unseeded entropy sources are banned outright
+    /// (chaos schedules must replay bit-identically from the world seed).
+    pub fault_files: Vec<String>,
 }
 
 impl Default for Config {
@@ -142,6 +151,14 @@ impl Default for Config {
             .map(String::from)
             .to_vec(),
             hot_fns: vec!["probe_burst".to_string()],
+            fault_files: [
+                "crates/probe/src/retry.rs",
+                "crates/probe/src/sim.rs",
+                "crates/probe/src/campaign.rs",
+                "crates/netmodel/src/faults.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
         }
     }
 }
@@ -214,6 +231,31 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
             }
         }
         hash_iter_rule(toks, &mut push);
+    }
+
+    if prod_code && cfg.fault_files.iter().any(|f| rel_path.contains(f.as_str())) {
+        for (i, t) in toks.iter().enumerate() {
+            let unseeded = t.is_ident("thread_rng")
+                || t.is_ident("from_entropy")
+                || t.is_ident("OsRng")
+                || t.is_ident("getrandom")
+                // `rand::random` — a path ending in the bare `random` fn.
+                || (t.is_ident("random")
+                    && i >= 3
+                    && toks[i - 1].is_punct(':')
+                    && toks[i - 2].is_punct(':')
+                    && toks[i - 3].is_ident("rand"));
+            if unseeded {
+                push(
+                    "det-fault-entropy",
+                    t.line,
+                    format!(
+                        "`{}` in fault/retry code: draw randomness from the seeded splitmix64 chain (netmodel::mix) so chaos schedules replay",
+                        t.text
+                    ),
+                );
+            }
+        }
     }
 
     // --- panic safety ----------------------------------------------------
@@ -633,6 +675,23 @@ mod tests {
         assert!(find("crates/v6addr/src/trie.rs", literal).is_empty());
         let modular = "fn f(v: &[u8], i: usize) -> u8 { v[i % v.len()] }";
         assert!(find("crates/v6addr/src/trie.rs", modular).is_empty());
+    }
+
+    #[test]
+    fn unseeded_entropy_flagged_in_fault_files_only() {
+        let src = "fn jitter() -> f64 { let mut r = rand::thread_rng(); r.gen() }";
+        let fs = find("crates/probe/src/retry.rs", src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "det-fault-entropy");
+        assert!(find("crates/probe/src/engine.rs", src).is_empty(), "only fault/retry files");
+        let bare_random = "fn roll() -> u64 { rand::random() }";
+        let fs = find("crates/netmodel/src/faults.rs", bare_random);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "det-fault-entropy");
+        let seeded = "fn roll(seed: u64, addr: u128) -> bool { chance(mix2(seed, 7), addr, 0.5) }";
+        assert!(find("crates/netmodel/src/faults.rs", seeded).is_empty());
+        let in_tests = "#[cfg(test)]\nmod tests { fn t() { let _ = rand::thread_rng(); } }";
+        assert!(find("crates/probe/src/sim.rs", in_tests).is_empty(), "tests may use entropy");
     }
 
     #[test]

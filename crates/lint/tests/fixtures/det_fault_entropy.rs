@@ -1,0 +1,20 @@
+//! Fixture: unseeded entropy sources in fault/retry code. Chaos
+//! schedules and backoff jitter must replay bit-identically from the
+//! world seed, so every randomness source below is a violation there.
+
+fn violations() -> u64 {
+    let mut rng = rand::thread_rng();
+    let roll: u64 = rand::random();
+    let other = SmallRng::from_entropy();
+    let os = OsRng.next_u64();
+    roll ^ os
+}
+
+fn fine(seed: u64, addr: u128) -> bool {
+    // seeded splitmix64 chain: deterministic given (seed, addr)
+    chance(mix2(seed, 0x5eed), addr, 0.5)
+}
+
+fn also_fine(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

@@ -9,6 +9,7 @@ const WALLCLOCK: &str = include_str!("fixtures/det_wallclock.rs");
 const UNORDERED: &str = include_str!("fixtures/det_unordered.rs");
 const HASH_ITER: &str = include_str!("fixtures/det_hash_iter.rs");
 const RANDOM_STATE: &str = include_str!("fixtures/det_random_state.rs");
+const FAULT_ENTROPY: &str = include_str!("fixtures/det_fault_entropy.rs");
 const PANIC_FAMILY: &str = include_str!("fixtures/panic_family.rs");
 const CONC: &str = include_str!("fixtures/conc.rs");
 const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
@@ -58,6 +59,30 @@ fn random_state_flagged_in_production_code() {
     assert!(
         !rules_of(&lint("crates/probe/tests/fx.rs", RANDOM_STATE)).contains(&"det-random-state")
     );
+}
+
+#[test]
+fn fault_entropy_fires_only_in_fault_and_retry_files() {
+    for path in [
+        "crates/probe/src/retry.rs",
+        "crates/probe/src/sim.rs",
+        "crates/probe/src/campaign.rs",
+        "crates/netmodel/src/faults.rs",
+    ] {
+        let hits = lint(path, FAULT_ENTROPY);
+        let fired: Vec<&Finding> =
+            hits.iter().filter(|f| f.rule == "det-fault-entropy").collect();
+        // thread_rng, rand::random, from_entropy, OsRng — one each; the
+        // seeded mix2/seed_from_u64 forms stay quiet.
+        assert_eq!(fired.len(), 4, "{path}: {hits:?}");
+    }
+    // Outside the fault/retry surface the same source is not this rule's
+    // business (engine randomness has its own salt discipline).
+    assert!(!rules_of(&lint("crates/probe/src/engine.rs", FAULT_ENTROPY))
+        .contains(&"det-fault-entropy"));
+    // Tests may use ambient entropy.
+    assert!(!rules_of(&lint("crates/probe/tests/retry.rs", FAULT_ENTROPY))
+        .contains(&"det-fault-entropy"));
 }
 
 // --- panic safety --------------------------------------------------------
@@ -141,6 +166,7 @@ fn every_rule_is_exercised_by_these_fixtures() {
         ("crates/core/src/report.rs", UNORDERED),
         ("crates/core/src/grid.rs", HASH_ITER),
         ("crates/probe/src/fx.rs", RANDOM_STATE),
+        ("crates/probe/src/retry.rs", FAULT_ENTROPY),
         ("crates/tga/src/fx.rs", PANIC_FAMILY),
         ("crates/core/src/fx.rs", CONC),
         ("crates/tga/src/fx.rs", SUPPRESSED),

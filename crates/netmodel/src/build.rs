@@ -595,6 +595,7 @@ pub fn build_world(cfg: WorldConfig) -> World {
     }
     stats.responsive_ases = live_asns.len();
 
+    let faults = crate::faults::FaultPlan::new(cfg.faults.clone(), cfg.seed);
     World {
         cfg,
         registry,
@@ -605,6 +606,7 @@ pub fn build_world(cfg: WorldConfig) -> World {
         dns,
         mega,
         stats,
+        faults,
     }
 }
 

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::faults::FaultConfig;
+
 /// All knobs of the simulated Internet. Two worlds built from equal configs
 /// are bit-identical.
 ///
@@ -53,6 +55,12 @@ pub struct WorldConfig {
     pub rst_rate: f64,
     /// Number of vantage-point ASes for traceroute collection.
     pub vantage_points: usize,
+    /// Hostile-network fault model layered over the oracle (loss bursts,
+    /// rate-limit escalation, blackholes, throttle epochs). Defaults to
+    /// fully disabled, so configs written before this field existed
+    /// deserialize to the cooperative-network behaviour unchanged.
+    #[serde(default)]
+    pub faults: FaultConfig,
 }
 
 impl Default for WorldConfig {
@@ -80,6 +88,7 @@ impl WorldConfig {
             unreachable_rate: 0.04,
             rst_rate: 0.7,
             vantage_points: 30,
+            faults: FaultConfig::off(),
         }
     }
 

@@ -30,6 +30,7 @@ pub mod asreg;
 pub mod build;
 pub mod config;
 pub mod dns;
+pub mod faults;
 pub mod hosts;
 pub mod mix;
 pub mod scheme;
@@ -41,6 +42,7 @@ pub use alias::AliasRegion;
 pub use asreg::{AsInfo, AsKind, AsRegistry, Asn, Country};
 pub use config::WorldConfig;
 pub use dns::{DnsUniverse, DomainRecord};
+pub use faults::{FaultConfig, FaultEffect, FaultKind, FaultPlan};
 pub use hosts::{AddrMap, HostKind, HostRecord};
 pub use scheme::AddressingScheme;
 pub use services::{PortSet, Protocol, PROTOCOLS};

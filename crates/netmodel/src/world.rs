@@ -16,6 +16,7 @@ use crate::alias::AliasRegion;
 use crate::asreg::{AsRegistry, Asn};
 use crate::config::WorldConfig;
 use crate::dns::DnsUniverse;
+use crate::faults::FaultPlan;
 use crate::hosts::AddrMap;
 use crate::mix::{chance, mix2};
 use crate::services::Protocol;
@@ -135,6 +136,7 @@ pub struct World {
     pub(crate) dns: DnsUniverse,
     pub(crate) mega: Option<MegaPattern>,
     pub(crate) stats: WorldStats,
+    pub(crate) faults: FaultPlan,
 }
 
 impl World {
@@ -181,6 +183,14 @@ impl World {
     /// Build-time statistics.
     pub fn stats(&self) -> &WorldStats {
         &self.stats
+    }
+
+    /// The compiled hostile-network fault schedule. The oracle itself does
+    /// not consult it — faults are *path* phenomena, applied by the
+    /// scanner-side transport, which owns the per-prefix probe-density
+    /// counters the plan's virtual clock runs on.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Resolve an address to its origin AS.

@@ -11,12 +11,21 @@
 //!   round-trips real packet bytes through [`Transport::send`].
 //! - [`Scanner::scan_parallel`] — the sharded pipeline. The target list is
 //!   deduplicated and blocklist-filtered **once**, partitioned into W
-//!   contiguous shards, and each shard probes through its own cloned
-//!   transport via [`Transport::probe_attempt`] with a [`TokenBucket`]
-//!   carved from the global pps budget (`rate / W` each, so the aggregate
-//!   still honors Appendix A). Per-shard reports are merged in shard
-//!   order, which is input order — hits and per-protocol reports are
-//!   bit-identical to the sequential path (asserted by tests).
+//!   shards **by prefix hash** (every fault domain and breaker domain
+//!   lands wholly inside one shard, so per-prefix state never forks), and
+//!   each shard probes through its own cloned transport via
+//!   [`Transport::probe_burst`] with a [`TokenBucket`] carved from the
+//!   global pps budget (`rate / W` each, so the aggregate still honors
+//!   Appendix A). Shard hits carry their global input index and are merged
+//!   by sorting on it — reports are bit-identical to the sequential path
+//!   (asserted by tests, including under every fault schedule).
+//!
+//! Hostile-network machinery (PR 6): a [`RetryPolicy`] replaces the fixed
+//! retry count (exponential backoff in *virtual* seconds with seeded
+//! jitter), and an optional per-prefix circuit breaker
+//! ([`BreakerConfig`]) stops probing prefixes that answer with nothing
+//! but silence — skipped targets are reported as
+//! [`ProbeOutcome::Skipped`], never probed, and never billed packets.
 
 use std::collections::HashSet;
 use std::net::Ipv6Addr;
@@ -28,6 +37,7 @@ use v6addr::PrefixSet;
 use crate::metrics::EngineMetrics;
 use crate::packet::build_probe;
 use crate::ratelimit::TokenBucket;
+use crate::retry::{Admission, BreakerConfig, BreakerMap, RetryPolicy};
 use crate::transport::{classify_response, Attempt, ProbeSpec, Transport};
 
 /// Scanner policy knobs.
@@ -37,9 +47,13 @@ pub struct ScannerConfig {
     pub src: Ipv6Addr,
     /// Validation salt (ZMap-style stateless response validation).
     pub salt: u64,
-    /// Retransmissions after the first attempt (the paper's dealiasing
-    /// probes use 3 total attempts; scan probes here default to 2 total).
-    pub retries: u32,
+    /// Retry/backoff policy. `RetryPolicy::fixed(n)` reproduces the
+    /// historical `retries: n` behaviour (the paper's dealiasing probes
+    /// use 3 total attempts; scan probes here default to 2 total).
+    pub retry: RetryPolicy,
+    /// Per-prefix circuit breaking; `None` probes every target
+    /// unconditionally (the historical behaviour).
+    pub breaker: Option<BreakerConfig>,
     /// Rate limit in packets/second; `None` disables limiting.
     pub rate_pps: Option<f64>,
     /// Networks that must never be probed (opt-out list, Appendix A).
@@ -54,7 +68,8 @@ impl Default for ScannerConfig {
             // sos-lint: allow(panic-unwrap) compile-time literal address always parses
             src: "2001:db8:5ca0::1".parse().expect("static addr"),
             salt: 0x5eed_5ca0,
-            retries: 1,
+            retry: RetryPolicy::fixed(1),
+            breaker: None,
             rate_pps: Some(10_000.0),
             blocklist: PrefixSet::new(),
             validate: true,
@@ -87,6 +102,31 @@ pub enum ProbeOutcome {
     Unreachable,
     /// Nothing came back.
     Silent,
+    /// The target was never probed; no packet was transmitted.
+    Skipped(SkipReason),
+}
+
+/// Why a target was skipped without transmitting anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The target's prefix breaker is open (too many consecutive
+    /// silent/unreachable targets inside the prefix).
+    BreakerOpen,
+}
+
+/// Everything [`Scanner::probe_target`] learned about one target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeResult {
+    /// §4.1 classification (or [`ProbeOutcome::Skipped`]).
+    pub outcome: ProbeOutcome,
+    /// Region tag echoed by a hit's response payload, if any.
+    pub tag: Option<u32>,
+    /// Virtual seconds spent waiting on the rate limiter.
+    pub limited_s: f64,
+    /// Virtual seconds spent in retry backoff.
+    pub backoff_s: f64,
+    /// Probe packets transmitted (0 for skipped targets).
+    pub attempts: u32,
 }
 
 /// Results of one scan invocation.
@@ -106,14 +146,39 @@ pub struct ScanReport {
     pub unreachables: usize,
     /// Silent targets.
     pub silent: usize,
+    /// Targets skipped by an open circuit breaker (never probed, zero
+    /// packets transmitted).
+    pub skipped: usize,
+    /// Retransmissions performed (attempts beyond each target's first).
+    pub retries: u64,
     /// Probe packets transmitted (incl. retries).
     pub packets_sent: u64,
+    /// Probes the hostile-network fault layer dropped or would have
+    /// dropped (loss bursts, rate-limit policing, blackholes).
+    pub faults_injected: u64,
+    /// Circuit breakers that opened during this scan.
+    pub breaker_opened: u64,
+    /// Virtual microseconds spent in retry backoff (integer so shard
+    /// merges are order-invariant; converted once per target).
+    pub backoff_waited_us: u64,
+    /// Virtual microseconds of throttle latency the fault layer imposed
+    /// (integer, converted once per probe — see `Transport::throttled_us`).
+    pub throttled_us: u64,
     /// Virtual seconds the rate limiter would have imposed. For sharded
     /// scans this is the **maximum across shards** — the shards wait
     /// concurrently, so the slowest shard models the wall time (each
     /// shard's budget is `rate / W`, making the aggregate rate equal the
     /// configured budget).
     pub limited_seconds: f64,
+}
+
+/// Convert a per-target/per-probe virtual-seconds figure to integer
+/// microseconds. Applied at a fixed granularity (once per probe for
+/// throttle delays, once per target for backoff), so every summation
+/// order produces the same integer total — the property the sequential ≡
+/// sharded bit-identity contract needs and f64 sums cannot give.
+pub(crate) fn secs_to_us(secs: f64) -> u64 {
+    (secs * 1e6).round() as u64
 }
 
 impl ScanReport {
@@ -126,25 +191,70 @@ impl ScanReport {
         }
     }
 
-    /// Fold a shard's partial report into this one (shards are merged in
-    /// input order, so hit order is preserved).
-    fn absorb_shard(&mut self, shard: ScanReport) {
-        self.hits.extend(shard.hits);
-        self.probed += shard.probed;
-        self.rsts += shard.rsts;
-        self.unreachables += shard.unreachables;
-        self.silent += shard.silent;
-        self.packets_sent += shard.packets_sent;
-        self.limited_seconds = self.limited_seconds.max(shard.limited_seconds);
+    /// Fold a shard's partial report into this one.
+    ///
+    /// Exhaustively destructured on purpose: adding a field to
+    /// `ScanReport` without deciding its merge rule here is a compile
+    /// error, and the `report_invariants` integration test asserts the
+    /// decided rules hold (every numeric field is either shard-summed,
+    /// max-merged with a written rationale, or parent-owned).
+    pub fn absorb_shard(&mut self, shard: ScanReport) {
+        let ScanReport {
+            hits,
+            probed,
+            duplicates,
+            blocked,
+            rsts,
+            unreachables,
+            silent,
+            skipped,
+            retries,
+            packets_sent,
+            faults_injected,
+            breaker_opened,
+            backoff_waited_us,
+            throttled_us,
+            limited_seconds,
+        } = shard;
+        self.hits.extend(hits);
+        self.probed += probed;
+        // duplicates/blocked are parent-owned: preparation happens once,
+        // before sharding, so shard partials always carry zero.
+        self.duplicates += duplicates;
+        self.blocked += blocked;
+        self.rsts += rsts;
+        self.unreachables += unreachables;
+        self.silent += silent;
+        self.skipped += skipped;
+        self.retries += retries;
+        self.packets_sent += packets_sent;
+        self.faults_injected += faults_injected;
+        self.breaker_opened += breaker_opened;
+        self.backoff_waited_us += backoff_waited_us;
+        self.throttled_us += throttled_us;
+        // max, not sum: shards wait concurrently (see field doc).
+        self.limited_seconds = self.limited_seconds.max(limited_seconds);
+    }
+
+    /// Fold a *sequential* round's report into this one (campaign
+    /// checkpoint rounds run one after another, so `limited_seconds`
+    /// adds instead of max-merging; everything else matches
+    /// [`Self::absorb_shard`]).
+    pub(crate) fn absorb_round(&mut self, round: ScanReport) {
+        let limited = round.limited_seconds;
+        let before = self.limited_seconds;
+        self.absorb_shard(round);
+        self.limited_seconds = before + limited;
     }
 }
 
 /// Deduplicate and blocklist-filter a target stream once, recording the
-/// skips in `report` and `metrics`. Returns the targets to probe, in
+/// skips in `report` (and `metrics`, unless suppressed for a checkpoint
+/// resume's silent re-preparation). Returns the targets to probe, in
 /// first-occurrence order.
 fn prepare_targets(
     blocklist: &PrefixSet,
-    metrics: &EngineMetrics,
+    metrics: Option<&EngineMetrics>,
     targets: impl IntoIterator<Item = Ipv6Addr>,
     report: &mut ScanReport,
 ) -> Vec<Ipv6Addr> {
@@ -154,12 +264,16 @@ fn prepare_targets(
     for dst in targets {
         if !seen.insert(u128::from(dst)) {
             report.duplicates += 1;
-            metrics.drop_duplicate.inc();
+            if let Some(m) = metrics {
+                m.drop_duplicate.inc();
+            }
             continue;
         }
         if blocklist.contains_addr(dst) {
             report.blocked += 1;
-            metrics.drop_blocklist.inc();
+            if let Some(m) = metrics {
+                m.drop_blocklist.inc();
+            }
             continue;
         }
         prepared.push(dst);
@@ -167,38 +281,98 @@ fn prepare_targets(
     prepared
 }
 
-/// Probe one prepared (already deduplicated, unblocked) slice of targets
-/// through `transport.probe_attempt`, tallying a partial [`ScanReport`].
-/// This is the per-shard worker loop; with the scanner's own transport and
-/// limiter it is also the `shards == 1` path.
+/// The prefix length the sharded pipeline partitions targets by: coarse
+/// enough that no active fault domain or breaker domain spans two shards
+/// (which would fork their per-prefix virtual clocks and break
+/// bit-identity with the sequential path).
+fn shard_partition_len<T: Transport>(transport: &T, breaker: Option<&BreakerConfig>) -> u8 {
+    let mut len = 48u8;
+    if let Some(f) = transport.fault_prefix_len() {
+        len = len.min(f.clamp(1, 128));
+    }
+    if let Some(b) = breaker {
+        len = len.min(b.effective_prefix_len());
+    }
+    len
+}
+
+/// Which shard owns a prefix-domain value (the address's top
+/// `partition_len` bits). Deterministic hash, uniform-ish across shards.
+#[inline]
+fn shard_of_domain(domain: u128, shards: usize) -> usize {
+    let h = v6addr::splitmix64((domain as u64) ^ ((domain >> 64) as u64).rotate_left(32));
+    (h % shards.max(1) as u64) as usize
+}
+
+/// Which shard owns an address.
+#[inline]
+fn shard_of(addr: u128, partition_len: u8, shards: usize) -> usize {
+    let domain = if partition_len >= 128 {
+        addr
+    } else {
+        addr >> (128 - u32::from(partition_len))
+    };
+    shard_of_domain(domain, shards)
+}
+
+/// Probe one prepared (already deduplicated, unblocked) slice of
+/// `(global index, target)` pairs through `transport.probe_burst`,
+/// tallying a partial [`ScanReport`] plus index-tagged hits (the caller
+/// restores global hit order by sorting on the index). This is the
+/// per-shard worker loop; with the scanner's own transport, limiter, and
+/// breaker it is also the `shards == 1` path.
 fn scan_shard<T: Transport>(
     cfg: &ScannerConfig,
     transport: &mut T,
     limiter: &mut Option<TokenBucket>,
+    breaker: &mut Option<BreakerMap>,
     metrics: &EngineMetrics,
-    targets: &[Ipv6Addr],
+    targets: &[(u32, Ipv6Addr)],
     proto: Protocol,
-) -> ScanReport {
+) -> (ScanReport, Vec<(u32, Ipv6Addr)>) {
     let mut report = ScanReport::default();
+    let mut hits: Vec<(u32, Ipv6Addr)> = Vec::new();
     // Shard-local tallies, flushed into `metrics` once at the end: the
-    // totals are identical, but the hot loop skips four mirrored atomic
+    // totals are identical, but the hot loop skips the mirrored atomic
     // counters per packet.
     let (mut retries, mut malformed, mut invalid) = (0u64, 0u64, 0u64);
-    let budget = cfg.retries + 1;
-    for &dst in targets {
+    let (mut skipped, mut backoff_us) = (0u64, 0u64);
+    let faults_at_entry = transport.faults_injected();
+    let throttled_at_entry = transport.throttled_us();
+    let opened_at_entry = breaker.as_ref().map_or(0, |b| b.opened());
+    for &(idx, dst) in targets {
+        if let Some(b) = breaker.as_mut() {
+            if b.admit(dst, proto) == Admission::Skip {
+                report.skipped += 1;
+                skipped += 1;
+                continue;
+            }
+        }
         report.probed += 1;
         let spec = cfg.spec(dst, proto);
+        let budget = cfg.retry.attempts_allowed(cfg.salt, u128::from(dst));
         let burst = transport.probe_burst(&spec, budget);
         report.packets_sent += u64::from(burst.used);
         retries += u64::from(burst.used.saturating_sub(1));
         malformed += u64::from(burst.malformed);
         invalid += u64::from(burst.invalid);
-        if let Some(tb) = limiter.as_mut() {
-            // Tokens are drawn after the burst rather than before each
-            // packet: the bucket runs on virtual time, so each wait
-            // depends only on the acquire sequence — the totals match
-            // the wire path's acquire-then-send ordering exactly.
-            for _ in 0..burst.used {
+        // Tokens and backoff are replayed after the burst rather than
+        // around each packet: the bucket runs on virtual time, so each
+        // wait depends only on the advance/acquire sequence — which is
+        // exactly the wire path's backoff-advance-then-acquire-then-send
+        // ordering, so the totals match bit for bit.
+        let mut target_backoff = 0.0;
+        for attempt in 0..burst.used {
+            if attempt > 0 {
+                let d = cfg.retry.delay_before(attempt, cfg.salt, u128::from(dst));
+                if d > 0.0 {
+                    target_backoff += d;
+                    if let Some(tb) = limiter.as_mut() {
+                        tb.advance(d);
+                    }
+                }
+            }
+            if let Some(tb) = limiter.as_mut() {
                 let wait = tb.acquire();
                 if wait > 0.0 {
                     metrics.stall(wait);
@@ -206,22 +380,39 @@ fn scan_shard<T: Transport>(
                 report.limited_seconds += wait;
             }
         }
+        if target_backoff > 0.0 {
+            let us = secs_to_us(target_backoff);
+            report.backoff_waited_us += us;
+            backoff_us += us;
+        }
         match burst.verdict {
-            Attempt::Hit => report.hits.push(dst),
+            Attempt::Hit => hits.push((idx, dst)),
             Attempt::Rst => report.rsts += 1,
             Attempt::Unreachable => report.unreachables += 1,
             _ => report.silent += 1,
         }
+        if let Some(b) = breaker.as_mut() {
+            let failure = !matches!(burst.verdict, Attempt::Hit | Attempt::Rst);
+            b.record(dst, proto, failure);
+        }
     }
+    report.retries = retries;
+    report.faults_injected = transport.faults_injected() - faults_at_entry;
+    report.throttled_us = transport.throttled_us() - throttled_at_entry;
+    report.breaker_opened = breaker.as_ref().map_or(0, |b| b.opened()) - opened_at_entry;
     metrics.packets_sent.add(report.packets_sent);
     metrics.retries.add(retries);
     metrics.drop_malformed.add(malformed);
     metrics.drop_validation.add(invalid);
-    metrics.hits.add(report.hits.len() as u64);
+    metrics.hits.add(hits.len() as u64);
     metrics.rsts.add(report.rsts as u64);
     metrics.unreachables.add(report.unreachables as u64);
     metrics.silent.add(report.silent as u64);
-    report
+    metrics.faults_injected.add(report.faults_injected);
+    metrics.breaker_opened.add(report.breaker_opened);
+    metrics.breaker_skipped.add(skipped);
+    metrics.backoff_waited_us.add(backoff_us);
+    (report, hits)
 }
 
 /// The scanner: a [`Transport`] plus policy.
@@ -230,6 +421,7 @@ pub struct Scanner<T: Transport> {
     cfg: ScannerConfig,
     transport: T,
     limiter: Option<TokenBucket>,
+    breaker: Option<BreakerMap>,
     metrics: EngineMetrics,
     /// Packets transmitted by shard-cloned transports (not visible in
     /// `transport.packets_sent()`); folded into [`Scanner::packets_sent`].
@@ -240,10 +432,12 @@ impl<T: Transport> Scanner<T> {
     /// Create a scanner over `transport`.
     pub fn new(cfg: ScannerConfig, transport: T) -> Self {
         let limiter = cfg.rate_pps.map(|r| TokenBucket::new(r, r));
+        let breaker = cfg.breaker.map(BreakerMap::new);
         Scanner {
             cfg,
             transport,
             limiter,
+            breaker,
             metrics: EngineMetrics::new(),
             shard_packets: 0,
         }
@@ -265,9 +459,41 @@ impl<T: Transport> Scanner<T> {
         self.limiter.as_ref()
     }
 
+    /// The per-prefix circuit-breaker state, when breaking is configured.
+    pub fn breaker(&self) -> Option<&BreakerMap> {
+        self.breaker.as_ref()
+    }
+
     /// Access the underlying transport.
     pub fn transport(&self) -> &T {
         &self.transport
+    }
+
+    /// Mutable state handles for campaign checkpoint/restore.
+    pub(crate) fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    pub(crate) fn limiter_mut(&mut self) -> &mut Option<TokenBucket> {
+        &mut self.limiter
+    }
+
+    pub(crate) fn breaker_mut(&mut self) -> &mut Option<BreakerMap> {
+        &mut self.breaker
+    }
+
+    /// Dedup + blocklist a target stream against this scanner's config.
+    /// `record` controls whether the drops hit the metrics registry (a
+    /// checkpoint resume re-prepares silently: the original run already
+    /// counted them, and the restored counter snapshot carries them).
+    pub(crate) fn prepare(
+        &self,
+        targets: impl IntoIterator<Item = Ipv6Addr>,
+        record: bool,
+        report: &mut ScanReport,
+    ) -> Vec<Ipv6Addr> {
+        let metrics = record.then_some(&self.metrics);
+        prepare_targets(&self.cfg.blocklist, metrics, targets, report)
     }
 
     /// Total packets this scanner has transmitted, including packets sent
@@ -277,21 +503,46 @@ impl<T: Transport> Scanner<T> {
     }
 
     /// Probe one target to completion, optionally with a region tag.
-    /// Returns the outcome and any region tag echoed by the response.
-    pub fn probe_target(
-        &mut self,
-        dst: Ipv6Addr,
-        proto: Protocol,
-        region: Option<u32>,
-    ) -> (ProbeOutcome, Option<u32>, f64) {
+    ///
+    /// Applies the full per-target policy stack: breaker admission, the
+    /// retry/backoff schedule (backoff advances the limiter's virtual
+    /// clock), rate limiting, and §4.1 classification — the identical
+    /// sequence `scan_shard` replays, so both paths land on the same
+    /// virtual timeline.
+    pub fn probe_target(&mut self, dst: Ipv6Addr, proto: Protocol, region: Option<u32>) -> ProbeResult {
+        if let Some(b) = self.breaker.as_mut() {
+            if b.admit(dst, proto) == Admission::Skip {
+                self.metrics.breaker_skipped.inc();
+                return ProbeResult {
+                    outcome: ProbeOutcome::Skipped(SkipReason::BreakerOpen),
+                    tag: None,
+                    limited_s: 0.0,
+                    backoff_s: 0.0,
+                    attempts: 0,
+                };
+            }
+        }
         let spec = ProbeSpec {
             region,
             ..self.cfg.spec(dst, proto)
         };
+        let allowed = self.cfg.retry.attempts_allowed(self.cfg.salt, u128::from(dst));
+        let faults_at_entry = self.transport.faults_injected();
         let mut waited = 0.0;
-        for attempt in 0..=self.cfg.retries {
+        let mut backoff = 0.0;
+        let mut attempts = 0u32;
+        let mut verdict = ProbeOutcome::Silent;
+        let mut tag = None;
+        for attempt in 0..allowed {
             if attempt > 0 {
                 self.metrics.retries.inc();
+                let d = self.cfg.retry.delay_before(attempt, self.cfg.salt, u128::from(dst));
+                if d > 0.0 {
+                    backoff += d;
+                    if let Some(tb) = self.limiter.as_mut() {
+                        tb.advance(d);
+                    }
+                }
             }
             if let Some(tb) = self.limiter.as_mut() {
                 let wait = tb.acquire();
@@ -302,19 +553,48 @@ impl<T: Transport> Scanner<T> {
             }
             let probe = build_probe(self.cfg.src, dst, proto, self.cfg.salt, region);
             self.metrics.packets_sent.inc();
+            attempts += 1;
             let Some(raw) = self.transport.send(&probe) else {
                 continue;
             };
             match classify_response(&spec, &raw) {
-                (Attempt::Hit, tag) => return (ProbeOutcome::Hit, tag, waited),
-                (Attempt::Rst, _) => return (ProbeOutcome::Rst, None, waited),
-                (Attempt::Unreachable, _) => return (ProbeOutcome::Unreachable, None, waited),
+                (Attempt::Hit, t) => {
+                    verdict = ProbeOutcome::Hit;
+                    tag = t;
+                    break;
+                }
+                (Attempt::Rst, _) => {
+                    verdict = ProbeOutcome::Rst;
+                    break;
+                }
+                (Attempt::Unreachable, _) => {
+                    verdict = ProbeOutcome::Unreachable;
+                    break;
+                }
                 (Attempt::Malformed, _) => self.metrics.drop_malformed.inc(),
                 (Attempt::Invalid, _) => self.metrics.drop_validation.inc(),
                 (Attempt::Silent | Attempt::Inapplicable, _) => {}
             }
         }
-        (ProbeOutcome::Silent, None, waited)
+        self.metrics
+            .faults_injected
+            .add(self.transport.faults_injected() - faults_at_entry);
+        if backoff > 0.0 {
+            self.metrics.backoff_waited_us.add(secs_to_us(backoff));
+        }
+        if let Some(b) = self.breaker.as_mut() {
+            let failure = !matches!(verdict, ProbeOutcome::Hit | ProbeOutcome::Rst);
+            if b.record(dst, proto, failure) {
+                self.metrics.breaker_opened.inc();
+            }
+        }
+        ProbeResult {
+            outcome: verdict,
+            tag,
+            limited_s: waited,
+            backoff_s: backoff,
+            attempts,
+        }
     }
 
     /// Scan a target list on one protocol, with dedup and blocklisting.
@@ -326,40 +606,56 @@ impl<T: Transport> Scanner<T> {
         proto: Protocol,
     ) -> ScanReport {
         let start_packets = self.transport.packets_sent();
+        let start_faults = self.transport.faults_injected();
+        let start_throttled = self.transport.throttled_us();
+        let start_opened = self.breaker.as_ref().map_or(0, |b| b.opened());
         let mut report = ScanReport::default();
-        let prepared = prepare_targets(&self.cfg.blocklist, &self.metrics, targets, &mut report);
+        let prepared =
+            prepare_targets(&self.cfg.blocklist, Some(&self.metrics), targets, &mut report);
         for dst in prepared {
-            report.probed += 1;
-            let (outcome, _tag, waited) = self.probe_target(dst, proto, None);
-            report.limited_seconds += waited;
-            match outcome {
+            let res = self.probe_target(dst, proto, None);
+            report.limited_seconds += res.limited_s;
+            report.backoff_waited_us += secs_to_us(res.backoff_s);
+            report.retries += u64::from(res.attempts.saturating_sub(1));
+            match res.outcome {
                 ProbeOutcome::Hit => {
                     self.metrics.hits.inc();
+                    report.probed += 1;
                     report.hits.push(dst);
                 }
                 ProbeOutcome::Rst => {
                     self.metrics.rsts.inc();
+                    report.probed += 1;
                     report.rsts += 1;
                 }
                 ProbeOutcome::Unreachable => {
                     self.metrics.unreachables.inc();
+                    report.probed += 1;
                     report.unreachables += 1;
                 }
                 ProbeOutcome::Silent => {
                     self.metrics.silent.inc();
+                    report.probed += 1;
                     report.silent += 1;
+                }
+                ProbeOutcome::Skipped(_) => {
+                    report.skipped += 1;
                 }
             }
         }
         report.packets_sent = self.transport.packets_sent() - start_packets;
+        report.faults_injected = self.transport.faults_injected() - start_faults;
+        report.throttled_us = self.transport.throttled_us() - start_throttled;
+        report.breaker_opened = self.breaker.as_ref().map_or(0, |b| b.opened()) - start_opened;
         sos_obs::debug!(
             "scan {proto:?}: {} probed, {} hits, {} rst, {} unreach, {} silent, \
-             {} pkts, {:.3}s limited",
+             {} skipped, {} pkts, {:.3}s limited",
             report.probed,
             report.hits.len(),
             report.rsts,
             report.unreachables,
             report.silent,
+            report.skipped,
             report.packets_sent,
             report.limited_seconds,
         );
@@ -404,51 +700,125 @@ impl<T: Transport + Clone + Send> Scanner<T> {
             "scan_parallel",
             format!("protos={} shards={shards}", protocols.len()),
         );
-        let start = sos_obs::now_s();
         let mut template = ScanReport::default();
-        let prepared = prepare_targets(&self.cfg.blocklist, &self.metrics, targets, &mut template);
+        let prepared = prepare_targets(&self.cfg.blocklist, Some(&self.metrics), targets, &mut template);
+        let indexed: Vec<(u32, Ipv6Addr)> = prepared
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| (i as u32, a))
+            .collect();
+        let mut out = self.scan_prepared(&indexed, protocols, shards);
+        for (_, report) in &mut out {
+            // Preparation happened once, above; every per-protocol report
+            // carries the same dedup/blocklist accounting.
+            report.duplicates += template.duplicates;
+            report.blocked += template.blocked;
+        }
+        out
+    }
+
+    /// Scan an already-prepared (deduplicated, unblocked, globally
+    /// indexed) target list. This is the shared back half of
+    /// [`Scanner::scan_parallel_multi`] and the campaign checkpoint
+    /// rounds: targets are partitioned across shards **by prefix hash**
+    /// (never round-robin), so every fault domain and breaker domain lands
+    /// wholly inside one shard and per-prefix virtual clocks never fork.
+    pub(crate) fn scan_prepared(
+        &mut self,
+        prepared: &[(u32, Ipv6Addr)],
+        protocols: &[Protocol],
+        shards: usize,
+    ) -> Vec<(Protocol, ScanReport)> {
+        let shards = shards.max(1);
+        let start = sos_obs::now_s();
 
         // Degenerate case: a single task runs on the scanner's own
-        // transport and persistent limiter, exactly like `scan` (but via
-        // the fast path). ParStats still reports the *requested* worker
-        // count so manifest utilization aggregates stay truthful.
+        // transport, persistent limiter, and breaker map, exactly like
+        // `scan` (but via the fast path). ParStats still reports the
+        // *requested* worker count so manifest utilization aggregates stay
+        // truthful.
         if protocols.len() == 1 && (shards == 1 || prepared.len() <= 1) {
             let proto = protocols[0];
             let t0 = sos_obs::now_s();
-            let mut report = template.clone();
-            let partial = scan_shard(
+            let (mut report, hits) = scan_shard(
                 &self.cfg,
                 &mut self.transport,
                 &mut self.limiter,
+                &mut self.breaker,
                 &self.metrics,
-                &prepared,
+                prepared,
                 proto,
             );
             let exec_s = sos_obs::now_s() - t0;
-            report.absorb_shard(partial);
-            record_shard_stats(start, shards, vec![(0, report.probed, exec_s)]);
+            // A single task sees targets in input order already.
+            report.hits = hits.into_iter().map(|(_, a)| a).collect();
+            record_shard_stats(start, shards, vec![(0, prepared.len(), exec_s)]);
             return vec![(proto, report)];
         }
 
         let tasks = protocols.len() * shards;
-        let chunk = prepared.len().div_ceil(shards).max(1);
         let rate = self.cfg.rate_pps;
         let cfg = &self.cfg;
         let metrics = &self.metrics;
+
+        // Partition by prefix hash: every target whose address shares the
+        // top `partition_len` bits lands in the same shard, in input order.
+        let partition_len = shard_partition_len(&self.transport, self.cfg.breaker.as_ref());
+        let mut parts: Vec<Vec<(u32, Ipv6Addr)>> = vec![Vec::new(); shards];
+        for &(idx, addr) in prepared {
+            // shard_of reduces modulo `shards`, so the index is in range
+            parts[shard_of(u128::from(addr), partition_len, shards)].push((idx, addr));
+        }
+
+        // Route breaker state into a per-(protocol, shard) grid. Entries
+        // for protocols not scanned here stay behind on the parent map;
+        // counters stay on the parent so absorb-back adds only deltas.
+        let mut grid: Vec<Option<BreakerMap>> = (0..tasks).map(|_| None).collect();
+        if let Some(parent) = self.breaker.as_mut() {
+            let bcfg = *parent.config();
+            let blen = bcfg.effective_prefix_len();
+            for slot in &mut grid {
+                *slot = Some(BreakerMap::new(bcfg));
+            }
+            let mut keep = Vec::new();
+            for (key, state) in parent.drain_entries() {
+                let (domain, pidx) = key;
+                let Some(pi) = protocols.iter().position(|p| p.index() as u8 == pidx) else {
+                    keep.push((key, state));
+                    continue;
+                };
+                // Breaker domains are at least as fine as the partition
+                // (shard_partition_len mins over the breaker length), so
+                // truncating the domain to the partition prefix routes it
+                // to the same shard as every address inside it.
+                let si = shard_of_domain(domain >> u32::from(blen - partition_len), shards);
+                // pi < protocols.len() and si < shards, so the grid index is in range
+                if let Some(slot) = grid[pi * shards + si].as_mut() {
+                    slot.insert_entries([(key, state)]);
+                }
+            }
+            parent.insert_entries(keep);
+        }
+
         // Clone all shard transports up front from the same snapshot:
         // every (protocol, shard) task continues this scanner's per-flow
-        // attempt history for its own disjoint slice of flows.
-        let mut pool: Vec<T> = (0..tasks).map(|_| self.transport.clone()).collect();
+        // attempt history (and per-domain fault clocks) for its own
+        // disjoint slice of flows.
+        let mut pool: Vec<T> = (0..tasks).map(|_| self.transport.shard_clone()).collect();
 
-        let mut out: Vec<(Protocol, ScanReport)> = Vec::with_capacity(protocols.len());
-        let mut cells: Vec<(usize, usize, f64)> = Vec::with_capacity(tasks);
-        let partials: Vec<(usize, Vec<ScanReport>)> = std::thread::scope(|scope| {
+        let parts = &parts;
+        // Each task yields (partial report, indexed hits, its transport,
+        // its breaker slice, exec seconds, targets handled).
+        let results = std::thread::scope(|scope| {
             let mut proto_handles = Vec::with_capacity(protocols.len());
             for (pi, &proto) in protocols.iter().enumerate() {
                 let mut shard_handles = Vec::with_capacity(shards);
-                for (si, slice) in prepared.chunks(chunk).enumerate() {
+                for si in 0..shards {
                     // sos-lint: allow(panic-unwrap) pool is sized to protocols * shards right above
                     let mut transport = pool.pop().expect("one transport per task");
+                    // pi < protocols.len() and si < shards, so the grid index is in range
+                    let mut breaker = grid[pi * shards + si].take();
+                    let slice = &parts[si]; // si < shards == parts.len()
                     shard_handles.push(scope.spawn(move || {
                         let _s = sos_obs::span_detail(
                             "scan_shard",
@@ -456,9 +826,16 @@ impl<T: Transport + Clone + Send> Scanner<T> {
                         );
                         let t0 = sos_obs::now_s();
                         let mut limiter = rate.map(|r| TokenBucket::split(r, r, tasks));
-                        let report =
-                            scan_shard(cfg, &mut transport, &mut limiter, metrics, slice, proto);
-                        (report, sos_obs::now_s() - t0)
+                        let (report, hits) = scan_shard(
+                            cfg,
+                            &mut transport,
+                            &mut limiter,
+                            &mut breaker,
+                            metrics,
+                            slice,
+                            proto,
+                        );
+                        (report, hits, transport, breaker, sos_obs::now_s() - t0, slice.len())
                     }));
                 }
                 proto_handles.push((pi, shard_handles));
@@ -472,26 +849,37 @@ impl<T: Transport + Clone + Send> Scanner<T> {
                             .into_iter()
                             // sos-lint: allow(panic-unwrap) propagating a shard panic is the intended failure mode
                             .map(|h| h.join().expect("shard worker panicked"))
-                            .map(|(report, exec_s)| {
-                                cells.push((cells.len(), report.probed, exec_s));
-                                report
-                            })
-                            .collect(),
+                            .collect::<Vec<_>>(),
                     )
                 })
-                .collect()
+                .collect::<Vec<_>>()
         });
 
-        for (pi, shard_reports) in partials {
-            let mut report = template.clone();
-            for partial in shard_reports {
+        let mut out: Vec<(Protocol, ScanReport)> = Vec::with_capacity(protocols.len());
+        let mut cells: Vec<(usize, usize, f64)> = Vec::with_capacity(tasks);
+        for (pi, shard_results) in results {
+            let mut report = ScanReport::default();
+            let mut hits: Vec<(u32, Ipv6Addr)> = Vec::new();
+            for (partial, shard_hits, transport, task_breaker, exec_s, items) in shard_results {
                 self.shard_packets += partial.packets_sent;
+                // Fold the shard's cross-target state back so later scans
+                // (and campaign checkpoints) continue the same clocks.
+                self.transport.absorb_shard(transport);
+                if let (Some(parent), Some(tb)) = (self.breaker.as_mut(), task_breaker) {
+                    parent.absorb(tb);
+                }
+                cells.push((cells.len(), items, exec_s));
+                hits.extend(shard_hits);
                 report.absorb_shard(partial);
             }
+            // Restore global input order across shards.
+            hits.sort_unstable_by_key(|&(i, _)| i);
+            report.hits = hits.into_iter().map(|(_, a)| a).collect();
             sos_obs::debug!(
-                "scan_parallel {:?} x{shards}: {} probed, {} hits, {} pkts",
+                "scan_parallel {:?} x{shards}: {} probed, {} skipped, {} hits, {} pkts",
                 protocols[pi], // pi < protocols.len(): enumerate index
                 report.probed,
+                report.skipped,
                 report.hits.len(),
                 report.packets_sent,
             );
@@ -541,7 +929,7 @@ mod tests {
     fn scanner() -> (Scanner<SimTransport>, Arc<World>) {
         let world = Arc::new(World::build(WorldConfig::tiny(31)));
         let cfg = ScannerConfig {
-            retries: 3,
+            retry: RetryPolicy::fixed(3),
             rate_pps: None,
             ..ScannerConfig::default()
         };
@@ -662,7 +1050,7 @@ mod tests {
         let targets = live_hosts(&world, Protocol::Icmp, 30);
         let cfg = ScannerConfig {
             rate_pps: Some(10.0), // absurdly slow to force waiting
-            retries: 0,
+            retry: RetryPolicy::fixed(0),
             ..ScannerConfig::default()
         };
         let mut s = Scanner::new(cfg, SimTransport::new(world));
@@ -698,7 +1086,7 @@ mod tests {
         let world = Arc::new(World::build(WorldConfig::tiny(31)));
         let (targets, blocklist) = mixed_targets(&world);
         let cfg = ScannerConfig {
-            retries: 2,
+            retry: RetryPolicy::fixed(2),
             rate_pps: None,
             blocklist,
             ..ScannerConfig::default()
@@ -720,7 +1108,7 @@ mod tests {
         let world = Arc::new(World::build(WorldConfig::tiny(31)));
         let targets = live_hosts(&world, Protocol::Icmp, 64);
         let cfg = ScannerConfig {
-            retries: 1,
+            retry: RetryPolicy::fixed(1),
             rate_pps: None,
             ..ScannerConfig::default()
         };
@@ -745,7 +1133,7 @@ mod tests {
         let targets: Vec<Ipv6Addr> = live_hosts(&world, Protocol::Icmp, 200);
         let cfg = ScannerConfig {
             rate_pps: Some(50.0),
-            retries: 0,
+            retry: RetryPolicy::fixed(0),
             ..ScannerConfig::default()
         };
         let mut seq = Scanner::new(cfg.clone(), SimTransport::new(world.clone()));
@@ -770,7 +1158,7 @@ mod tests {
         let world = Arc::new(World::build(WorldConfig::tiny(31)));
         let targets = live_hosts(&world, Protocol::Icmp, 32);
         let cfg = ScannerConfig {
-            retries: 0,
+            retry: RetryPolicy::fixed(0),
             rate_pps: None,
             ..ScannerConfig::default()
         };

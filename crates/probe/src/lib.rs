@@ -27,15 +27,17 @@ pub mod oracle;
 pub mod packet;
 pub mod pcap;
 pub mod ratelimit;
+pub mod retry;
 pub mod sim;
 pub mod transport;
 
-pub use campaign::{Campaign, CampaignResult};
-pub use engine::{ProbeOutcome, ScanReport, Scanner, ScannerConfig};
+pub use campaign::{Campaign, CampaignCheckpoint, CampaignResult, CampaignRun, RunOptions};
+pub use engine::{ProbeOutcome, ScanReport, Scanner, ScannerConfig, SkipReason};
 pub use metrics::EngineMetrics;
 pub use oracle::{NullOracle, ScanOracle};
 pub use packet::{build_probe, parse_packet, PacketError, ParsedPacket};
 pub use pcap::{CapturingTransport, PcapWriter};
 pub use ratelimit::TokenBucket;
+pub use retry::{Admission, BreakerConfig, BreakerMap, BreakerState, RetryPolicy};
 pub use sim::SimTransport;
 pub use transport::{Attempt, Burst, ProbeSpec, Transport};

@@ -52,6 +52,11 @@ impl Mirrored {
 /// | `probe.drop.validation` | responses failing token validation |
 /// | `probe.drop.malformed` | responses that failed to parse |
 /// | `probe.ratelimit.stalls` | acquires that had to wait for a token |
+/// | `probe.faults_injected` | probes eaten by the hostile-network fault layer |
+/// | `probe.breaker.opened` | circuit breakers that tripped open |
+/// | `probe.breaker.skipped` | targets skipped by open breakers |
+/// | `probe.backoff.waited_us` | virtual µs spent in retry backoff |
+/// | `probe.resumed_targets` | targets restored as done by a checkpoint resume |
 ///
 /// Histogram `probe.ratelimit.wait_us` records each stall's wait in µs.
 #[derive(Debug)]
@@ -68,6 +73,11 @@ pub struct EngineMetrics {
     pub(crate) drop_validation: Mirrored,
     pub(crate) drop_malformed: Mirrored,
     pub(crate) ratelimit_stalls: Mirrored,
+    pub(crate) faults_injected: Mirrored,
+    pub(crate) breaker_opened: Mirrored,
+    pub(crate) breaker_skipped: Mirrored,
+    pub(crate) backoff_waited_us: Mirrored,
+    pub(crate) resumed_targets: Mirrored,
     pub(crate) wait_us_local: Arc<Histogram>,
     pub(crate) wait_us_global: Arc<Histogram>,
 }
@@ -95,9 +105,51 @@ impl EngineMetrics {
             drop_validation: c("probe.drop.validation"),
             drop_malformed: c("probe.drop.malformed"),
             ratelimit_stalls: c("probe.ratelimit.stalls"),
+            faults_injected: c("probe.faults_injected"),
+            breaker_opened: c("probe.breaker.opened"),
+            breaker_skipped: c("probe.breaker.skipped"),
+            backoff_waited_us: c("probe.backoff.waited_us"),
+            resumed_targets: c("probe.resumed_targets"),
             wait_us_local: registry.histogram("probe.ratelimit.wait_us"),
             wait_us_global: sos_obs::histogram("probe.ratelimit.wait_us"),
             registry,
+        }
+    }
+
+    /// Every mirrored counter, by manifest name (checkpoint restore path).
+    fn mirrored(&self) -> [(&'static str, &Mirrored); 16] {
+        [
+            ("probe.packets_sent", &self.packets_sent),
+            ("probe.retries", &self.retries),
+            ("probe.hits", &self.hits),
+            ("probe.rsts", &self.rsts),
+            ("probe.unreachables", &self.unreachables),
+            ("probe.silent", &self.silent),
+            ("probe.drop.duplicate", &self.drop_duplicate),
+            ("probe.drop.blocklist", &self.drop_blocklist),
+            ("probe.drop.validation", &self.drop_validation),
+            ("probe.drop.malformed", &self.drop_malformed),
+            ("probe.ratelimit.stalls", &self.ratelimit_stalls),
+            ("probe.faults_injected", &self.faults_injected),
+            ("probe.breaker.opened", &self.breaker_opened),
+            ("probe.breaker.skipped", &self.breaker_skipped),
+            ("probe.backoff.waited_us", &self.backoff_waited_us),
+            ("probe.resumed_targets", &self.resumed_targets),
+        ]
+    }
+
+    /// Raise counters to at least the checkpointed values (resume path:
+    /// the fresh scanner's locals are zero, so this adds the snapshot
+    /// wholesale, mirroring into the global registry as the original run
+    /// did; counters already past the snapshot are left alone).
+    pub(crate) fn restore_counters(&self, snapshot: &BTreeMap<String, u64>) {
+        let current = self.counters();
+        for (name, counter) in self.mirrored() {
+            let want = snapshot.get(name).copied().unwrap_or(0);
+            let have = current.get(name).copied().unwrap_or(0);
+            if want > have {
+                counter.add(want - have);
+            }
         }
     }
 

@@ -38,7 +38,10 @@ pub trait ScanOracle {
 
 impl<T: Transport> ScanOracle for Scanner<T> {
     fn probe(&mut self, addr: Ipv6Addr, proto: Protocol) -> bool {
-        matches!(self.probe_target(addr, proto, None).0, ProbeOutcome::Hit)
+        matches!(
+            self.probe_target(addr, proto, None).outcome,
+            ProbeOutcome::Hit
+        )
     }
 
     fn probe_tagged(
@@ -49,8 +52,8 @@ impl<T: Transport> ScanOracle for Scanner<T> {
         targets
             .iter()
             .map(|&(addr, region)| {
-                let (outcome, tag, _) = self.probe_target(addr, proto, Some(region));
-                (matches!(outcome, ProbeOutcome::Hit), tag)
+                let res = self.probe_target(addr, proto, Some(region));
+                (matches!(res.outcome, ProbeOutcome::Hit), res.tag)
             })
             .collect()
     }
@@ -91,6 +94,7 @@ impl ScanOracle for NullOracle {
 mod tests {
     use super::*;
     use crate::engine::ScannerConfig;
+    use crate::retry::RetryPolicy;
     use crate::sim::SimTransport;
     use netmodel::{World, WorldConfig};
     use std::sync::Arc;
@@ -115,7 +119,7 @@ mod tests {
             .take(10)
             .collect();
         let cfg = ScannerConfig {
-            retries: 3,
+            retry: RetryPolicy::fixed(3),
             rate_pps: None,
             ..ScannerConfig::default()
         };
@@ -137,7 +141,7 @@ mod tests {
             .map(|(i, a)| (a, i as u32 + 100))
             .collect();
         let cfg = ScannerConfig {
-            retries: 3,
+            retry: RetryPolicy::fixed(3),
             rate_pps: None,
             ..ScannerConfig::default()
         };

@@ -72,9 +72,41 @@ impl TokenBucket {
     /// shard bucket gets `rate / shards` and `burst / shards` (floored at
     /// one token of burst), so the shards' aggregate throughput equals the
     /// original budget.
+    ///
+    /// `shards` is normalized to at least 1 here (and everywhere else in
+    /// the engine, via `shards.max(1)`): a zero-shard scan is meaningless,
+    /// and a zero divisor would mint an infinite budget. The `seedscan`
+    /// CLI additionally rejects an explicit `--scan-shards 0` up front.
     pub fn split(rate: f64, burst: f64, shards: usize) -> Self {
         let n = shards.max(1) as f64;
         TokenBucket::new(rate / n, burst / n)
+    }
+
+    /// Snapshot the full limiter state for a campaign checkpoint. `f64`
+    /// fields travel as `to_bits` so the round-trip is exact.
+    pub fn snapshot(&self) -> BucketSnapshot {
+        BucketSnapshot {
+            rate: self.rate.to_bits(),
+            burst: self.burst.to_bits(),
+            tokens: self.tokens.to_bits(),
+            now: self.now.to_bits(),
+            refilled_at: self.refilled_at.to_bits(),
+            waited: self.waited.to_bits(),
+            stalls: self.stalls,
+        }
+    }
+
+    /// Rebuild a limiter from a checkpoint snapshot, bit-exactly.
+    pub fn restore(snap: &BucketSnapshot) -> TokenBucket {
+        TokenBucket {
+            rate: f64::from_bits(snap.rate),
+            burst: f64::from_bits(snap.burst),
+            tokens: f64::from_bits(snap.tokens),
+            now: f64::from_bits(snap.now),
+            refilled_at: f64::from_bits(snap.refilled_at),
+            waited: f64::from_bits(snap.waited),
+            stalls: snap.stalls,
+        }
     }
 
     /// Credit all tokens accrued since the last refill, against `now`.
@@ -132,6 +164,26 @@ impl TokenBucket {
     pub fn virtual_now(&self) -> f64 {
         self.now
     }
+}
+
+/// A [`TokenBucket`]'s complete state with floats as raw bits, so campaign
+/// checkpoints restore the limiter's virtual clock bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketSnapshot {
+    /// `rate` as `f64::to_bits`.
+    pub rate: u64,
+    /// `burst` as `f64::to_bits`.
+    pub burst: u64,
+    /// `tokens` as `f64::to_bits`.
+    pub tokens: u64,
+    /// `now` as `f64::to_bits`.
+    pub now: u64,
+    /// `refilled_at` as `f64::to_bits`.
+    pub refilled_at: u64,
+    /// `waited` as `f64::to_bits`.
+    pub waited: u64,
+    /// Stall count.
+    pub stalls: u64,
 }
 
 #[cfg(test)]
@@ -263,6 +315,24 @@ mod tests {
     #[should_panic]
     fn zero_rate_rejected() {
         TokenBucket::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_exact() {
+        let mut tb = TokenBucket::new(333.0, 7.0);
+        for _ in 0..23 {
+            tb.acquire();
+        }
+        tb.advance(0.017);
+        let snap = tb.snapshot();
+        let mut restored = TokenBucket::restore(&snap);
+        // The restored bucket must behave identically from here on.
+        for _ in 0..40 {
+            assert_eq!(tb.acquire().to_bits(), restored.acquire().to_bits());
+        }
+        assert_eq!(tb.virtual_now().to_bits(), restored.virtual_now().to_bits());
+        assert_eq!(tb.total_stalls(), restored.total_stalls());
+        assert_eq!(restored.snapshot(), restored.snapshot());
     }
 
     #[test]

@@ -1,0 +1,519 @@
+//! Adaptive retries and per-prefix circuit breakers.
+//!
+//! Hostile networks answer probes with silence, rate-limit escalation, and
+//! blackholed prefixes. Two mechanisms keep a campaign productive there
+//! without losing the workspace's determinism contract:
+//!
+//! - [`RetryPolicy`] — how many times to re-probe an unresponsive target
+//!   and how long to back off between attempts. Backoff delays are
+//!   *virtual* seconds (they advance the token-bucket clock, never the
+//!   wall clock) and jitter is drawn from a seeded SplitMix64 stream keyed
+//!   by `(salt, address, attempt)`, so every run replays identically.
+//! - [`BreakerMap`] — a per-`(prefix, protocol)` circuit breaker. After
+//!   `threshold` consecutive silent/unreachable targets inside one prefix
+//!   the breaker opens and the scanner skips the prefix's remaining
+//!   targets (marking them [`Skipped`](crate::engine::ProbeOutcome::Skipped)),
+//!   then half-opens after `cooldown` skips to let one trial probe through.
+//!   Cooldown is measured in *skipped targets*, not time, which keeps the
+//!   state machine a pure function of the per-prefix target sequence — the
+//!   property that makes sharded scans bit-identical to sequential ones.
+
+use std::collections::BTreeMap;
+use std::net::Ipv6Addr;
+
+use netmodel::mix::{mix2, mix3, mix_addr};
+use netmodel::Protocol;
+
+/// Domain-separation constant for backoff jitter draws.
+const JITTER_SALT: u64 = 0x6a17_7e55;
+
+/// Map a mixed word to `[0, 1)` using its top 53 bits.
+#[inline]
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// When and how often to re-probe an unresponsive target.
+///
+/// `fixed(n)` reproduces the historical behaviour (n retries, no delay);
+/// `exponential(..)` adds capped exponential backoff with deterministic
+/// jitter and an optional per-target backoff budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per target, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in virtual seconds (0 = no backoff).
+    pub base_delay_s: f64,
+    /// Multiplier applied to the delay for each further retry.
+    pub multiplier: f64,
+    /// Cap on a single backoff delay (0 = uncapped).
+    pub max_delay_s: f64,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a
+    /// deterministic factor drawn from `[1 - jitter, 1]`.
+    pub jitter: f64,
+    /// Total backoff budget per target, in virtual seconds. Attempts whose
+    /// cumulative backoff would exceed the budget are not made
+    /// (`INFINITY` = unlimited).
+    pub budget_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::fixed(1)
+    }
+}
+
+impl RetryPolicy {
+    /// The historical fixed-retry behaviour: `retries` re-probes after the
+    /// first attempt, no backoff, no budget.
+    pub fn fixed(retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            base_delay_s: 0.0,
+            multiplier: 1.0,
+            max_delay_s: 0.0,
+            jitter: 0.0,
+            budget_s: f64::INFINITY,
+        }
+    }
+
+    /// Capped exponential backoff: delays `base, 2·base, 4·base, …` capped
+    /// at `16·base`, with 50% deterministic jitter and no budget.
+    pub fn exponential(max_attempts: u32, base_delay_s: f64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay_s: base_delay_s.max(0.0),
+            multiplier: 2.0,
+            max_delay_s: base_delay_s.max(0.0) * 16.0,
+            jitter: 0.5,
+            budget_s: f64::INFINITY,
+        }
+    }
+
+    /// Same policy with a per-target backoff budget.
+    pub fn with_budget(mut self, budget_s: f64) -> RetryPolicy {
+        self.budget_s = if budget_s < 0.0 { 0.0 } else { budget_s };
+        self
+    }
+
+    /// The backoff delay taken before `attempt` (0-based; attempt 0 is the
+    /// first probe and never waits). Pure in `(self, attempt, salt, addr)`.
+    pub fn delay_before(&self, attempt: u32, salt: u64, addr: u128) -> f64 {
+        if attempt == 0 || self.base_delay_s <= 0.0 {
+            return 0.0;
+        }
+        let mut raw = self.base_delay_s * self.multiplier.powi(attempt as i32 - 1);
+        if self.max_delay_s > 0.0 {
+            raw = raw.min(self.max_delay_s);
+        }
+        let j = self.jitter.clamp(0.0, 1.0);
+        if j == 0.0 {
+            return raw;
+        }
+        let h = mix3(mix2(salt, JITTER_SALT), mix_addr(salt, addr), u64::from(attempt));
+        raw * (1.0 - j * unit(h))
+    }
+
+    /// How many attempts the budget allows for `addr`: the largest
+    /// `n ≤ max_attempts` whose cumulative backoff stays within
+    /// `budget_s`. Always at least 1.
+    pub fn attempts_allowed(&self, salt: u64, addr: u128) -> u32 {
+        let max = self.max_attempts.max(1);
+        if self.budget_s.is_infinite() || self.base_delay_s <= 0.0 {
+            return max;
+        }
+        let mut spent = 0.0;
+        let mut allowed = 1;
+        for attempt in 1..max {
+            spent += self.delay_before(attempt, salt, addr);
+            if spent > self.budget_s {
+                break;
+            }
+            allowed = attempt + 1;
+        }
+        allowed
+    }
+
+    /// Total backoff taken across a target that used `used` attempts.
+    /// Pure, so the burst fast path can account for backoff after the
+    /// fact and land on the same number as the wire path.
+    pub fn total_backoff(&self, used: u32, salt: u64, addr: u128) -> f64 {
+        let mut total = 0.0;
+        for attempt in 1..used {
+            total += self.delay_before(attempt, salt, addr);
+        }
+        total
+    }
+}
+
+/// Circuit-breaker tuning. One breaker exists per
+/// `(address >> (128 - prefix_len), protocol)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Prefix length that defines a breaker domain (default /48, the
+    /// granularity the paper's seed datasets aggregate at).
+    pub prefix_len: u8,
+    /// Consecutive silent/unreachable targets that open the breaker.
+    pub threshold: u32,
+    /// Targets skipped while open before one trial probe is let through.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { prefix_len: 48, threshold: 8, cooldown: 32 }
+    }
+}
+
+impl BreakerConfig {
+    /// `prefix_len` clamped to a usable range.
+    pub fn effective_prefix_len(&self) -> u8 {
+        self.prefix_len.clamp(1, 128)
+    }
+}
+
+/// One breaker's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Probing normally; `failures` consecutive failures so far.
+    Closed {
+        /// Consecutive silent/unreachable targets.
+        failures: u32,
+    },
+    /// Skipping targets; `skipped` skipped since opening.
+    Open {
+        /// Targets skipped while open.
+        skipped: u32,
+    },
+    /// One trial probe is in flight; its outcome closes or re-opens.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable numeric encoding for checkpoints: `(tag, count)`.
+    pub fn encode(self) -> (u8, u32) {
+        match self {
+            BreakerState::Closed { failures } => (0, failures),
+            BreakerState::Open { skipped } => (1, skipped),
+            BreakerState::HalfOpen => (2, 0),
+        }
+    }
+
+    /// Inverse of [`encode`](Self::encode); unknown tags decode to a fresh
+    /// closed breaker.
+    pub fn decode(tag: u8, count: u32) -> BreakerState {
+        match tag {
+            1 => BreakerState::Open { skipped: count },
+            2 => BreakerState::HalfOpen,
+            _ => BreakerState::Closed { failures: count },
+        }
+    }
+}
+
+/// What [`BreakerMap::admit`] decided for a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Probe the target (breaker closed, or half-open trial).
+    Probe,
+    /// Skip the target without sending any packet.
+    Skip,
+}
+
+/// All breaker state for one scanner, keyed by
+/// `(prefix bits, protocol index)`. A `BTreeMap` keeps iteration (and so
+/// checkpoints) deterministically ordered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerMap {
+    cfg: BreakerConfig,
+    states: BTreeMap<(u128, u8), BreakerState>,
+    opened: u64,
+    skipped: u64,
+}
+
+impl BreakerMap {
+    /// An empty map with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> BreakerMap {
+        BreakerMap { cfg, states: BTreeMap::new(), opened: 0, skipped: 0 }
+    }
+
+    /// The tuning this map was built with.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.cfg
+    }
+
+    /// The breaker domain of an address: its top `prefix_len` bits.
+    pub fn domain_of(&self, addr: Ipv6Addr) -> u128 {
+        u128::from(addr) >> (128 - u32::from(self.cfg.effective_prefix_len()))
+    }
+
+    fn key(&self, addr: Ipv6Addr, proto: Protocol) -> (u128, u8) {
+        (self.domain_of(addr), proto.index() as u8)
+    }
+
+    /// Decide whether to probe `addr` on `proto`. Skips count toward the
+    /// open breaker's cooldown; once `cooldown` targets have been skipped
+    /// the breaker half-opens and the next target becomes a trial probe.
+    pub fn admit(&mut self, addr: Ipv6Addr, proto: Protocol) -> Admission {
+        let cooldown = self.cfg.cooldown.max(1);
+        let state = self
+            .states
+            .entry(self.key(addr, proto))
+            .or_insert(BreakerState::Closed { failures: 0 });
+        match *state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => Admission::Probe,
+            BreakerState::Open { skipped } => {
+                if skipped + 1 >= cooldown {
+                    *state = BreakerState::HalfOpen;
+                } else {
+                    *state = BreakerState::Open { skipped: skipped + 1 };
+                }
+                self.skipped += 1;
+                Admission::Skip
+            }
+        }
+    }
+
+    /// Record a probed target's outcome. `failure` means silent or
+    /// unreachable. Returns `true` when this record opened the breaker.
+    pub fn record(&mut self, addr: Ipv6Addr, proto: Protocol, failure: bool) -> bool {
+        let threshold = self.cfg.threshold.max(1);
+        let state = self
+            .states
+            .entry(self.key(addr, proto))
+            .or_insert(BreakerState::Closed { failures: 0 });
+        match *state {
+            BreakerState::Closed { failures } => {
+                if !failure {
+                    *state = BreakerState::Closed { failures: 0 };
+                    false
+                } else if failures + 1 >= threshold {
+                    *state = BreakerState::Open { skipped: 0 };
+                    self.opened += 1;
+                    true
+                } else {
+                    *state = BreakerState::Closed { failures: failures + 1 };
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if failure {
+                    *state = BreakerState::Open { skipped: 0 };
+                    self.opened += 1;
+                    true
+                } else {
+                    *state = BreakerState::Closed { failures: 0 };
+                    false
+                }
+            }
+            // An open breaker never probes, so there is nothing to record;
+            // tolerate the call for robustness.
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Cumulative count of open transitions.
+    pub fn opened(&self) -> u64 {
+        self.opened
+    }
+
+    /// Cumulative count of targets skipped by open breakers.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// All breaker states, sorted by key (for checkpoints and tests).
+    pub fn entries(&self) -> Vec<((u128, u8), BreakerState)> {
+        self.states.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Rebuild a map from checkpointed state.
+    pub fn restore(
+        cfg: BreakerConfig,
+        entries: impl IntoIterator<Item = ((u128, u8), BreakerState)>,
+        opened: u64,
+        skipped: u64,
+    ) -> BreakerMap {
+        BreakerMap { cfg, states: entries.into_iter().collect(), opened, skipped }
+    }
+
+    /// Drain every breaker state out of this map (counters stay). The
+    /// multi-protocol shard pipeline re-routes the drained entries into a
+    /// per-(protocol, shard) grid and re-inserts the rest.
+    pub(crate) fn drain_entries(&mut self) -> Vec<((u128, u8), BreakerState)> {
+        std::mem::take(&mut self.states).into_iter().collect()
+    }
+
+    /// Insert previously drained entries (overwriting on key collision).
+    pub(crate) fn insert_entries(
+        &mut self,
+        entries: impl IntoIterator<Item = ((u128, u8), BreakerState)>,
+    ) {
+        self.states.extend(entries);
+    }
+
+    /// Partition this map's state into `shards` maps, routing each breaker
+    /// domain with `shard_of` (which must agree with how the scan itself
+    /// partitions targets). `self` is left empty; counters stay on `self`
+    /// so absorb-back only adds shard deltas.
+    pub fn split_for_shards(
+        &mut self,
+        shards: usize,
+        shard_of: impl Fn(u128) -> usize,
+    ) -> Vec<BreakerMap> {
+        let mut out: Vec<BreakerMap> = (0..shards.max(1)).map(|_| BreakerMap::new(self.cfg)).collect();
+        for (key, state) in std::mem::take(&mut self.states) {
+            let slot = shard_of(key.0) % out.len();
+            // slot < out.len(): reduced modulo len on the previous line
+            out[slot].states.insert(key, state);
+        }
+        out
+    }
+
+    /// Merge a shard's state back: states overwrite (domains are disjoint
+    /// across shards), counters add.
+    pub fn absorb(&mut self, shard: BreakerMap) {
+        self.states.extend(shard.states);
+        self.opened += shard.opened;
+        self.skipped += shard.skipped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(prefix: u16, low: u16) -> Ipv6Addr {
+        Ipv6Addr::from((u128::from(prefix) << 112) | u128::from(low))
+    }
+
+    #[test]
+    fn fixed_policy_matches_legacy_retries() {
+        let p = RetryPolicy::fixed(3);
+        assert_eq!(p.max_attempts, 4);
+        assert_eq!(p.attempts_allowed(1, 42), 4);
+        assert_eq!(p.delay_before(1, 1, 42), 0.0);
+        assert_eq!(p.total_backoff(4, 1, 42), 0.0);
+    }
+
+    #[test]
+    fn exponential_delays_grow_and_cap() {
+        let mut p = RetryPolicy::exponential(8, 1.0);
+        p.jitter = 0.0;
+        assert_eq!(p.delay_before(0, 0, 0), 0.0);
+        assert_eq!(p.delay_before(1, 0, 0), 1.0);
+        assert_eq!(p.delay_before(2, 0, 0), 2.0);
+        assert_eq!(p.delay_before(3, 0, 0), 4.0);
+        assert_eq!(p.delay_before(7, 0, 0), 16.0, "capped at 16·base");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::exponential(4, 1.0);
+        let d1 = p.delay_before(1, 7, 42);
+        let d2 = p.delay_before(1, 7, 42);
+        assert_eq!(d1, d2, "same inputs, same jitter");
+        assert!(d1 > 0.5 - 1e-9 && d1 <= 1.0, "jitter scales into [0.5, 1]: {d1}");
+        assert_ne!(p.delay_before(1, 7, 42), p.delay_before(1, 8, 42), "salt decorrelates");
+    }
+
+    #[test]
+    fn budget_caps_attempts_but_always_allows_one() {
+        let mut p = RetryPolicy::exponential(8, 1.0).with_budget(3.5);
+        p.jitter = 0.0;
+        // cumulative backoff: 1, 3, 7 … → attempts 3 fit within 3.5s
+        assert_eq!(p.attempts_allowed(0, 0), 3);
+        let tight = RetryPolicy::exponential(8, 10.0).with_budget(0.0);
+        assert_eq!(tight.attempts_allowed(0, 0), 1);
+    }
+
+    #[test]
+    fn total_backoff_sums_the_delays_taken() {
+        let mut p = RetryPolicy::exponential(8, 1.0);
+        p.jitter = 0.0;
+        assert_eq!(p.total_backoff(1, 0, 0), 0.0);
+        assert_eq!(p.total_backoff(3, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_consecutive_failures() {
+        let cfg = BreakerConfig { prefix_len: 112, threshold: 3, cooldown: 2 };
+        let mut b = BreakerMap::new(cfg);
+        let p = Protocol::Icmp;
+        assert!(!b.record(addr(1, 0), p, true));
+        assert!(!b.record(addr(1, 1), p, true));
+        // success resets the streak
+        assert!(!b.record(addr(1, 2), p, false));
+        assert!(!b.record(addr(1, 3), p, true));
+        assert!(!b.record(addr(1, 4), p, true));
+        assert!(b.record(addr(1, 5), p, true), "third consecutive failure opens");
+        assert_eq!(b.opened(), 1);
+        assert_eq!(b.admit(addr(1, 6), p), Admission::Skip);
+    }
+
+    #[test]
+    fn breaker_half_opens_after_cooldown_and_recovers() {
+        let cfg = BreakerConfig { prefix_len: 112, threshold: 1, cooldown: 2 };
+        let mut b = BreakerMap::new(cfg);
+        let p = Protocol::Tcp80;
+        assert!(b.record(addr(9, 0), p, true), "threshold 1 opens immediately");
+        assert_eq!(b.admit(addr(9, 1), p), Admission::Skip);
+        assert_eq!(b.admit(addr(9, 2), p), Admission::Skip, "cooldown reached → half-open");
+        assert_eq!(b.admit(addr(9, 3), p), Admission::Probe, "trial probe");
+        assert!(!b.record(addr(9, 3), p, false));
+        assert_eq!(b.admit(addr(9, 4), p), Admission::Probe, "closed again");
+        assert_eq!(b.skipped(), 2);
+    }
+
+    #[test]
+    fn breaker_reopens_on_failed_trial() {
+        let cfg = BreakerConfig { prefix_len: 112, threshold: 1, cooldown: 1 };
+        let mut b = BreakerMap::new(cfg);
+        let p = Protocol::Udp53;
+        b.record(addr(3, 0), p, true);
+        assert_eq!(b.admit(addr(3, 1), p), Admission::Skip, "skip counts as the full cooldown");
+        assert_eq!(b.admit(addr(3, 2), p), Admission::Probe);
+        assert!(b.record(addr(3, 2), p, true), "failed trial re-opens");
+        assert_eq!(b.opened(), 2);
+    }
+
+    #[test]
+    fn breakers_are_per_prefix_and_per_protocol() {
+        let cfg = BreakerConfig { prefix_len: 112, threshold: 1, cooldown: 8 };
+        let mut b = BreakerMap::new(cfg);
+        b.record(addr(1, 0), Protocol::Icmp, true);
+        assert_eq!(b.admit(addr(1, 1), Protocol::Icmp), Admission::Skip);
+        assert_eq!(b.admit(addr(1, 1), Protocol::Tcp80), Admission::Probe, "other proto unaffected");
+        assert_eq!(b.admit(addr(2, 1), Protocol::Icmp), Admission::Probe, "other prefix unaffected");
+    }
+
+    #[test]
+    fn split_and_absorb_round_trip() {
+        let cfg = BreakerConfig { prefix_len: 112, threshold: 1, cooldown: 4 };
+        let mut b = BreakerMap::new(cfg);
+        for i in 0..8u16 {
+            b.record(addr(i, 0), Protocol::Icmp, true);
+        }
+        let before = b.entries();
+        let opened = b.opened();
+        let shards = b.split_for_shards(3, |domain| (domain as usize) % 3);
+        assert!(b.entries().is_empty());
+        let mut merged = BreakerMap::new(cfg);
+        for s in shards {
+            merged.absorb(s);
+        }
+        assert_eq!(merged.entries(), before);
+        assert_eq!(b.opened(), opened, "counters stay on the parent");
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for s in [
+            BreakerState::Closed { failures: 5 },
+            BreakerState::Open { skipped: 2 },
+            BreakerState::HalfOpen,
+        ] {
+            let (t, c) = s.encode();
+            assert_eq!(BreakerState::decode(t, c), s);
+        }
+    }
+}

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::net::Ipv6Addr;
 use std::sync::Arc;
 
-use netmodel::{ProbeReply, Protocol, World};
+use netmodel::{FaultEffect, ProbeReply, Protocol, World};
 
 use crate::packet::dns::build_dns_response;
 use crate::packet::icmpv6::{build_dst_unreachable, build_echo_reply};
@@ -62,6 +62,11 @@ impl std::hash::Hasher for FlowHasher {
 /// (destination bits, protocol index) → attempts already transmitted.
 type FlowMap = HashMap<(u128, u8), u32, std::hash::BuildHasherDefault<FlowHasher>>;
 
+/// (fault domain, protocol index) → probes already sent into the domain.
+/// This is the fault layer's virtual clock (see `netmodel::faults`): it is
+/// scanner-side state, so it lives here rather than in the world.
+type DensityMap = HashMap<(u128, u8), u32, std::hash::BuildHasherDefault<FlowHasher>>;
+
 /// Transport backed by a [`World`].
 ///
 /// Loss is re-rolled per transmission via the world's `attempt` parameter.
@@ -76,6 +81,9 @@ pub struct SimTransport {
     world: Arc<World>,
     sent: u64,
     attempts: FlowMap,
+    density: DensityMap,
+    fault_drops: u64,
+    throttled_us: u64,
 }
 
 impl SimTransport {
@@ -85,6 +93,9 @@ impl SimTransport {
             world,
             sent: 0,
             attempts: FlowMap::default(),
+            density: DensityMap::default(),
+            fault_drops: 0,
+            throttled_us: 0,
         }
     }
 
@@ -122,6 +133,40 @@ impl SimTransport {
     fn gateway_of(dst: Ipv6Addr) -> Ipv6Addr {
         Ipv6Addr::from(u128::from(dst) & !0xffff_ffff_ffff_ffffu128 | 1)
     }
+
+    /// Roll the fault layer for one probe to `dst` on `proto`: advance the
+    /// per-(domain, proto) density clock and ask the plan. Accounting for
+    /// the returned effect is the caller's job (the burst fast path
+    /// accumulates locally and flushes once per target).
+    fn roll_fault(&mut self, dst: Ipv6Addr, proto: Protocol) -> FaultEffect {
+        let plan = self.world.faults();
+        if !plan.active() {
+            return FaultEffect::Pass;
+        }
+        let domain = plan.domain_of(u128::from(dst));
+        let slot = self.density.entry((domain, proto.index() as u8)).or_insert(0);
+        let density = *slot;
+        *slot = slot.wrapping_add(1);
+        self.world.faults().effect(domain, proto, density)
+    }
+
+    /// Apply `roll_fault`'s verdict to this transport's accumulators and
+    /// say whether the probe still reaches the oracle.
+    fn apply_fault(&mut self, effect: FaultEffect) -> bool {
+        match effect {
+            FaultEffect::Pass => true,
+            FaultEffect::Delay(d) => {
+                // Converted per probe, matching `probe_burst`'s fast path,
+                // so wire and burst accounting agree to the microsecond.
+                self.throttled_us += crate::engine::secs_to_us(d);
+                true
+            }
+            FaultEffect::Drop(_) => {
+                self.fault_drops += 1;
+                false
+            }
+        }
+    }
 }
 
 impl Transport for SimTransport {
@@ -131,6 +176,14 @@ impl Transport for SimTransport {
         let parsed = parse_packet(packet).ok()?;
         let (proto, src, dst) = Self::route_of(&parsed)?;
         let attempt = self.next_attempt(dst, proto);
+        // Hostile-network fault layer: the attempt number is consumed even
+        // when the probe is dropped (the packet left the scanner), and the
+        // roll happens before the oracle so a blackholed prefix never
+        // reveals its ground truth.
+        let effect = self.roll_fault(dst, proto);
+        if !self.apply_fault(effect) {
+            return None;
+        }
         let reply = self.world.probe(dst, proto, attempt);
         if matches!(reply, ProbeReply::DstUnreachable) {
             // Routers quote the invoking packet regardless of its
@@ -173,6 +226,12 @@ impl Transport for SimTransport {
     fn probe_attempt(&mut self, spec: &ProbeSpec) -> Attempt {
         self.sent += 1;
         let attempt = self.next_attempt(spec.dst, spec.proto);
+        // Same fault sequencing as the wire path: attempt consumed, roll,
+        // then (only if the probe survives) the oracle.
+        let effect = self.roll_fault(spec.dst, spec.proto);
+        if !self.apply_fault(effect) {
+            return Attempt::Silent;
+        }
         match self.world.probe(spec.dst, spec.proto, attempt) {
             ProbeReply::EchoReply | ProbeReply::SynAck | ProbeReply::DnsAnswer => Attempt::Hit,
             ProbeReply::Rst => Attempt::Rst,
@@ -188,15 +247,39 @@ impl Transport for SimTransport {
     /// all `Timeout`, so the default loop's drop accounting stays zero.
     fn probe_burst(&mut self, spec: &ProbeSpec, budget: u32) -> Burst {
         let world = Arc::clone(&self.world);
+        let plan = world.faults();
         let slot = self
             .attempts
             .entry((u128::from(spec.dst), spec.proto.index() as u8))
             .or_insert(0);
+        // Fault layer: the density slot is fetched once per target too
+        // (the whole burst lands in one fault domain). `dslot` is None
+        // exactly when the plan is inactive.
+        let domain = plan.domain_of(u128::from(spec.dst));
+        let mut dslot = plan
+            .active()
+            .then(|| self.density.entry((domain, spec.proto.index() as u8)).or_insert(0));
+        let mut drops = 0u64;
+        let mut delay_us = 0u64;
         let mut burst = Burst::silent();
         while burst.used < budget {
             let attempt = *slot;
             *slot = slot.wrapping_add(1);
             burst.used += 1;
+            if let Some(dslot) = dslot.as_deref_mut() {
+                let density = *dslot;
+                *dslot = dslot.wrapping_add(1);
+                // Density advances even for dropped probes, exactly like
+                // the wire path: the packet left the scanner.
+                match plan.effect(domain, spec.proto, density) {
+                    FaultEffect::Drop(_) => {
+                        drops += 1;
+                        continue;
+                    }
+                    FaultEffect::Delay(d) => delay_us += crate::engine::secs_to_us(d),
+                    FaultEffect::Pass => {}
+                }
+            }
             match world.probe(spec.dst, spec.proto, attempt) {
                 ProbeReply::EchoReply | ProbeReply::SynAck | ProbeReply::DnsAnswer => {
                     burst.verdict = Attempt::Hit;
@@ -214,7 +297,68 @@ impl Transport for SimTransport {
             }
         }
         self.sent += u64::from(burst.used);
+        self.fault_drops += drops;
+        self.throttled_us += delay_us;
         burst
+    }
+
+    fn faults_injected(&self) -> u64 {
+        self.fault_drops
+    }
+
+    fn throttled_us(&self) -> u64 {
+        self.throttled_us
+    }
+
+    fn fault_prefix_len(&self) -> Option<u8> {
+        let plan = self.world.faults();
+        plan.active().then(|| plan.prefix_len())
+    }
+
+    /// Shard clones inherit the flow and density maps (they continue the
+    /// same virtual clocks for their slice of the target list) but report
+    /// packet/fault deltas from zero.
+    fn shard_clone(&self) -> Self {
+        SimTransport {
+            world: Arc::clone(&self.world),
+            sent: 0,
+            attempts: self.attempts.clone(),
+            density: self.density.clone(),
+            fault_drops: 0,
+            throttled_us: 0,
+        }
+    }
+
+    /// Merge a shard's cross-target state back. Every shard clone starts
+    /// from the same snapshot and only advances counters for its own
+    /// disjoint slice of flows/domains, so for any key the largest value
+    /// across parent and shards is the true count — max-merge is exact and
+    /// absorb order cannot matter. (Counters wrap only after 2^32 probes
+    /// of a single flow, far beyond any simulated campaign.)
+    fn absorb_shard(&mut self, shard: Self) {
+        for (k, v) in shard.attempts {
+            let slot = self.attempts.entry(k).or_insert(0);
+            *slot = (*slot).max(v);
+        }
+        for (k, v) in shard.density {
+            let slot = self.density.entry(k).or_insert(0);
+            *slot = (*slot).max(v);
+        }
+        self.fault_drops += shard.fault_drops;
+        self.throttled_us += shard.throttled_us;
+    }
+
+    fn fault_state(&self) -> Vec<(u128, u8, u32)> {
+        let mut out: Vec<(u128, u8, u32)> =
+            self.density.iter().map(|(&(d, p), &n)| (d, p, n)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn restore_fault_state(&mut self, state: &[(u128, u8, u32)]) {
+        for &(domain, proto, n) in state {
+            self.density.insert((domain, proto), n);
+        }
     }
 }
 
@@ -401,5 +545,133 @@ mod tests {
             }
             assert_eq!(wire.packets_sent(), fast.packets_sent());
         }
+    }
+
+    fn faulty_world(cfg: netmodel::FaultConfig) -> Arc<World> {
+        let mut wc = WorldConfig::tiny(21);
+        wc.faults = cfg;
+        Arc::new(World::build(wc))
+    }
+
+    /// The fault layer must be applied identically by the wire path, the
+    /// attempt fast path, and the burst fast path: same density clock,
+    /// same rolls, same drops.
+    #[test]
+    fn fault_layer_matches_across_all_three_paths() {
+        let w = faulty_world(netmodel::FaultConfig::hostile());
+        let src: Ipv6Addr = "2001:db8::100".parse().unwrap();
+        let targets: Vec<Ipv6Addr> = w.hosts().iter().map(|(a, _)| a).take(96).collect();
+        for proto in [Protocol::Icmp, Protocol::Tcp443] {
+            let mut wire = SimTransport::new(w.clone());
+            let mut fast = SimTransport::new(w.clone());
+            let mut burst = SimTransport::new(w.clone());
+            for &dst in &targets {
+                let spec = ProbeSpec { src, dst, proto, salt: 5, region: None, validate: true };
+                // All three paths must consume the shared per-domain
+                // density clock identically, so the manual wire/attempt
+                // loops stop at the first decisive verdict exactly like
+                // the engine (and `probe_burst`) do — otherwise their
+                // clocks drift apart on the targets that answer early.
+                let mut wire_verdicts = Vec::new();
+                let mut fast_verdicts = Vec::new();
+                for _ in 0..3 {
+                    let via_wire = match wire.send(&build_probe(src, dst, proto, 5, None)) {
+                        None => Attempt::Silent,
+                        Some(raw) => crate::transport::classify_response(&spec, &raw).0,
+                    };
+                    wire_verdicts.push(via_wire);
+                    fast_verdicts.push(fast.probe_attempt(&spec));
+                    if matches!(
+                        via_wire,
+                        Attempt::Hit | Attempt::Rst | Attempt::Unreachable
+                    ) {
+                        break;
+                    }
+                }
+                assert_eq!(wire_verdicts, fast_verdicts, "{dst} {proto:?}");
+                let b = burst.probe_burst(&spec, 3);
+                assert_eq!(b.used, wire_verdicts.len() as u32, "{dst} {proto:?}");
+                // sos-lint: allow(panic-unwrap) loop above always pushes ≥1 verdict
+                let last = *wire_verdicts.last().unwrap();
+                if matches!(last, Attempt::Hit | Attempt::Rst | Attempt::Unreachable) {
+                    assert_eq!(b.verdict, last, "{dst} {proto:?}");
+                } else {
+                    assert_eq!(b.verdict, Attempt::Silent, "{dst} {proto:?}");
+                }
+            }
+            assert_eq!(wire.faults_injected(), fast.faults_injected(), "{proto:?}");
+            assert_eq!(wire.fault_state(), fast.fault_state(), "{proto:?}");
+            assert_eq!(wire.fault_state(), burst.fault_state(), "{proto:?}");
+        }
+    }
+
+    #[test]
+    fn fully_blackholed_world_drops_every_probe_and_counts_them() {
+        let w = faulty_world(netmodel::FaultConfig::blackholes(1.0, 1.0));
+        let dst = find_live(&w, Protocol::Icmp);
+        let mut t = SimTransport::new(w);
+        let src: Ipv6Addr = "2001:db8::100".parse().unwrap();
+        for _ in 0..6 {
+            assert!(t.send(&build_probe(src, dst, Protocol::Icmp, 5, None)).is_none());
+        }
+        assert_eq!(t.faults_injected(), 6, "every probe was eaten by the blackhole");
+        assert_eq!(t.packets_sent(), 6, "dropped probes still count as sent");
+    }
+
+    #[test]
+    fn throttled_world_accrues_virtual_latency_but_answers() {
+        let mut cfg = netmodel::FaultConfig::off();
+        cfg.enabled = true;
+        cfg.throttle_rate = 1.0;
+        cfg.throttle_delay_s = 0.05;
+        let w = faulty_world(cfg);
+        let dst = find_live(&w, Protocol::Icmp);
+        let mut t = SimTransport::new(w);
+        let spec = ProbeSpec {
+            src: "2001:db8::100".parse().unwrap(),
+            dst,
+            proto: Protocol::Icmp,
+            salt: 5,
+            region: None,
+            validate: true,
+        };
+        let b = t.probe_burst(&spec, 4);
+        assert_eq!(b.verdict, Attempt::Hit, "throttle delays, never drops");
+        let expect = u64::from(b.used) * 50_000;
+        assert_eq!(t.throttled_us(), expect);
+        assert_eq!(t.faults_injected(), 0);
+    }
+
+    #[test]
+    fn shard_clone_zeroes_counters_and_absorb_merges_state() {
+        let w = faulty_world(netmodel::FaultConfig::blackholes(1.0, 1.0));
+        let dst = find_live(&w, Protocol::Icmp);
+        let mut base = SimTransport::new(w);
+        let spec = ProbeSpec {
+            src: "2001:db8::100".parse().unwrap(),
+            dst,
+            proto: Protocol::Icmp,
+            salt: 5,
+            region: None,
+            validate: true,
+        };
+        base.probe_burst(&spec, 2);
+        assert_eq!(base.faults_injected(), 2);
+        let mut shard = base.shard_clone();
+        assert_eq!(shard.packets_sent(), 0);
+        assert_eq!(shard.faults_injected(), 0);
+        assert_eq!(shard.fault_state(), base.fault_state(), "density carried over");
+        shard.probe_burst(&spec, 3);
+        assert_eq!(shard.faults_injected(), 3, "shard reports its own delta");
+        base.absorb_shard(shard);
+        assert_eq!(base.faults_injected(), 5);
+        // density continued from the base's clock: 2 + 3 probes
+        let state = base.fault_state();
+        assert_eq!(state.len(), 1);
+        assert_eq!(state[0].2, 5);
+        // and restore round-trips
+        let mut fresh = SimTransport::new(base.world.clone());
+        fresh.restore_fault_state(&state);
+        assert_eq!(fresh.fault_state(), state);
     }
 }

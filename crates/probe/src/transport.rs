@@ -144,6 +144,62 @@ pub trait Transport {
         }
         burst
     }
+
+    /// Probes the hostile-network fault layer dropped, if this transport
+    /// models one (see [`crate::sim::SimTransport`]). Defaults to 0 for
+    /// fault-free transports.
+    fn faults_injected(&self) -> u64 {
+        0
+    }
+
+    /// Cumulative virtual **microseconds** of throttle latency the fault
+    /// layer added to probes that still went through. Integer so shard
+    /// partial sums merge order-invariantly — f64 addition is not
+    /// associative, and the last-bit drift would break the sequential ≡
+    /// sharded bit-identity contract.
+    fn throttled_us(&self) -> u64 {
+        0
+    }
+
+    /// Fault-domain granularity in bits, when a fault layer is active.
+    /// The sharded scan pipeline partitions targets by prefix so that no
+    /// fault domain ever spans two shards (which would fork the
+    /// per-domain density clock and break bit-identity).
+    fn fault_prefix_len(&self) -> Option<u8> {
+        None
+    }
+
+    /// Clone this transport for a shard task: cross-target state (flow
+    /// attempt counters, fault density) is carried over, while
+    /// per-instance accumulators (packets, fault drops, throttle time)
+    /// start at zero so the shard reports clean deltas.
+    fn shard_clone(&self) -> Self
+    where
+        Self: Clone + Sized,
+    {
+        self.clone()
+    }
+
+    /// Merge a shard transport's cross-target state back after a parallel
+    /// scan, so later scans through this transport continue the same
+    /// per-flow and per-domain counters the shards advanced. Packet
+    /// counts are NOT merged — the engine accounts shard packets
+    /// separately. Default: nothing to merge.
+    fn absorb_shard(&mut self, _shard: Self)
+    where
+        Self: Sized,
+    {
+    }
+
+    /// Snapshot the per-(fault domain, protocol) probe-density counters,
+    /// sorted by key — the fault layer's virtual clock, persisted by
+    /// campaign checkpoints. Empty when no fault layer is modeled.
+    fn fault_state(&self) -> Vec<(u128, u8, u32)> {
+        Vec::new()
+    }
+
+    /// Restore counters captured by [`Transport::fault_state`].
+    fn restore_fault_state(&mut self, _state: &[(u128, u8, u32)]) {}
 }
 
 /// Outcome of one [`Transport::probe_burst`]: the per-target verdict plus

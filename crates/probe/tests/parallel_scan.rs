@@ -8,11 +8,15 @@ use std::net::Ipv6Addr;
 use std::sync::Arc;
 
 use netmodel::{PortSet, World, WorldConfig, PROTOCOLS};
-use sos_probe::{Campaign, CampaignResult, Scanner, ScannerConfig, SimTransport};
+use sos_probe::{Campaign, CampaignResult, RetryPolicy, Scanner, ScannerConfig, SimTransport};
 
 fn scanner(world: Arc<World>) -> Scanner<SimTransport> {
     Scanner::new(
-        ScannerConfig { retries: 2, rate_pps: None, ..ScannerConfig::default() },
+        ScannerConfig {
+            retry: RetryPolicy::fixed(2),
+            rate_pps: None,
+            ..ScannerConfig::default()
+        },
         SimTransport::new(world),
     )
 }

@@ -7,7 +7,7 @@ use std::net::Ipv6Addr;
 use std::sync::Arc;
 
 use netmodel::{Protocol, World, WorldConfig};
-use sos_probe::{ScanReport, Scanner, ScannerConfig, SimTransport};
+use sos_probe::{RetryPolicy, ScanReport, Scanner, ScannerConfig, SimTransport};
 use v6addr::{Prefix, PrefixSet};
 
 fn world() -> Arc<World> {
@@ -52,7 +52,7 @@ fn report_reconciles_with_engine_counters() {
     let mut blocklist = PrefixSet::new();
     blocklist.insert(Prefix::new(targets[0], 128));
     let cfg = ScannerConfig {
-        retries: 1,
+        retry: RetryPolicy::fixed(1),
         rate_pps: None,
         blocklist,
         ..ScannerConfig::default()
@@ -76,7 +76,11 @@ fn report_reconciles_with_engine_counters() {
 #[test]
 fn retries_accumulate_across_scans() {
     let w = world();
-    let cfg = ScannerConfig { retries: 3, rate_pps: None, ..ScannerConfig::default() };
+    let cfg = ScannerConfig {
+        retry: RetryPolicy::fixed(3),
+        rate_pps: None,
+        ..ScannerConfig::default()
+    };
     let mut s = Scanner::new(cfg, SimTransport::new(w));
     let dead: Vec<Ipv6Addr> = vec!["3fff::1".parse().unwrap(), "3fff::2".parse().unwrap()];
     s.scan(dead.clone(), Protocol::Icmp);
@@ -92,7 +96,7 @@ fn limiter_stalls_match_engine_counter_and_histogram() {
     let w = world();
     let targets = mixed_targets(&w, 50);
     let cfg = ScannerConfig {
-        retries: 0,
+        retry: RetryPolicy::fixed(0),
         rate_pps: Some(10.0), // tiny rate: almost every acquire stalls
         ..ScannerConfig::default()
     };
@@ -118,7 +122,11 @@ fn limiter_stalls_match_engine_counter_and_histogram() {
 fn unlimited_scanner_records_zero_stalls() {
     let w = world();
     let targets = mixed_targets(&w, 100);
-    let cfg = ScannerConfig { retries: 2, rate_pps: None, ..ScannerConfig::default() };
+    let cfg = ScannerConfig {
+        retry: RetryPolicy::fixed(2),
+        rate_pps: None,
+        ..ScannerConfig::default()
+    };
     let mut s = Scanner::new(cfg, SimTransport::new(w));
     let report = s.scan(targets, Protocol::Icmp);
     assert!(s.limiter().is_none());
@@ -126,4 +134,75 @@ fn unlimited_scanner_records_zero_stalls() {
     assert_eq!(s.metrics().counter("probe.ratelimit.stalls"), 0);
     assert_eq!(s.metrics().wait_histogram().count, 0);
     assert_report_reconciles(&report, &s);
+}
+
+#[test]
+fn retries_merge_equal_sequential_vs_sharded() {
+    // `ScanReport.retries` must survive `absorb_shard` intact: the same
+    // scan sharded 8 ways reports exactly the sequential retry count.
+    let w = world();
+    let targets = mixed_targets(&w, 150);
+    let cfg = ScannerConfig {
+        retry: RetryPolicy::fixed(2),
+        rate_pps: None,
+        ..ScannerConfig::default()
+    };
+    let mut seq = Scanner::new(cfg.clone(), SimTransport::new(w.clone()));
+    let sequential = seq.scan(targets.iter().copied(), Protocol::Icmp);
+    let mut par = Scanner::new(cfg, SimTransport::new(w));
+    let sharded = par
+        .scan_parallel_multi(targets.iter().copied(), &[Protocol::Icmp], 8)
+        .remove(0)
+        .1;
+    assert!(sequential.retries > 0, "silent targets must retry");
+    assert_eq!(sequential.retries, sharded.retries);
+    assert_eq!(sequential, sharded, "whole reports stay bit-identical");
+    assert_eq!(
+        par.metrics().counter("probe.retries"),
+        sharded.retries,
+        "the metrics registry agrees with the merged report"
+    );
+}
+
+#[test]
+fn every_scan_report_field_has_a_merge_rule() {
+    // Every numeric field is either shard-summed, max-merged, or
+    // parent-owned; `absorb_shard`'s exhaustive destructure makes a new
+    // field a compile error, and this test pins the decided semantics.
+    let mk = |scale: u64| ScanReport {
+        hits: vec![Ipv6Addr::from(0x1000 + u128::from(scale))],
+        probed: scale as usize,
+        duplicates: 2 * scale as usize,
+        blocked: 3 * scale as usize,
+        rsts: 4 * scale as usize,
+        unreachables: 5 * scale as usize,
+        silent: 6 * scale as usize,
+        skipped: 7 * scale as usize,
+        retries: 8 * scale,
+        packets_sent: 9 * scale,
+        faults_injected: 10 * scale,
+        breaker_opened: 11 * scale,
+        backoff_waited_us: 12 * scale,
+        throttled_us: 13 * scale,
+        limited_seconds: 14.0 * scale as f64,
+    };
+    let mut merged = mk(1);
+    merged.absorb_shard(mk(100));
+    assert_eq!(merged.hits.len(), 2, "hits concatenate");
+    assert_eq!(merged.probed, 101);
+    assert_eq!(merged.duplicates, 202);
+    assert_eq!(merged.blocked, 303);
+    assert_eq!(merged.rsts, 404);
+    assert_eq!(merged.unreachables, 505);
+    assert_eq!(merged.silent, 606);
+    assert_eq!(merged.skipped, 707);
+    assert_eq!(merged.retries, 808);
+    assert_eq!(merged.packets_sent, 909);
+    assert_eq!(merged.faults_injected, 1010);
+    assert_eq!(merged.breaker_opened, 1111);
+    assert_eq!(merged.backoff_waited_us, 1212);
+    assert_eq!(merged.throttled_us, 1313);
+    // Shards rate-limit concurrently: wall-clock wait is the slowest
+    // shard's, not the sum.
+    assert_eq!(merged.limited_seconds, 1400.0, "max-merged, not summed");
 }

@@ -152,7 +152,7 @@ mod tests {
     use crate::collect::{collect_all, CollectorConfig};
     use dealias::{OfflineDealiaser, OnlineConfig, OnlineDealiaser};
     use netmodel::{World, WorldConfig};
-    use sos_probe::{Scanner, ScannerConfig, SimTransport};
+    use sos_probe::{RetryPolicy, Scanner, ScannerConfig, SimTransport};
     use std::sync::Arc;
 
     fn setup() -> (Arc<World>, SeedPipeline) {
@@ -165,7 +165,7 @@ mod tests {
         );
         let mut scanner = Scanner::new(
             ScannerConfig {
-                retries: 2,
+                retry: RetryPolicy::fixed(2),
                 rate_pps: None,
                 ..ScannerConfig::default()
             },
@@ -248,7 +248,7 @@ mod tests {
             .collect();
         let mut scanner = Scanner::new(
             ScannerConfig {
-                retries: 3,
+                retry: RetryPolicy::fixed(3),
                 rate_pps: None,
                 ..ScannerConfig::default()
             },

@@ -35,7 +35,7 @@ fn main() {
         .expect("pcap header");
     let mut scanner = Scanner::new(
         ScannerConfig {
-            retries: 1,
+            retry: sos_probe::RetryPolicy::fixed(1),
             rate_pps: None,
             ..ScannerConfig::default()
         },

@@ -38,7 +38,7 @@ fn main() {
     // Stage 1: the three dealiasing regimes, compared.
     let mut scanner = Scanner::new(
         ScannerConfig {
-            retries: 2, // 3 attempts, per §4.2
+            retry: sos_probe::RetryPolicy::fixed(2), // 3 attempts, per §4.2
             rate_pps: None,
             ..ScannerConfig::default()
         },
