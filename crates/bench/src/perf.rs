@@ -163,6 +163,39 @@ pub fn suite(cfg: &PerfConfig) -> Vec<(String, Box<dyn FnMut() + '_>)> {
         ));
     }
 
+    // Journal-emission overhead: the same 8-shard workload driven through
+    // the checkpointable campaign path, with and without the JSONL event
+    // journal + Prometheus snapshot writers armed. The pair's delta is
+    // the full cost of live telemetry (events are emitted at round
+    // boundaries only, so it should stay well inside the noise band).
+    for journal in [false, true] {
+        let targets = targets.clone();
+        let round = if cfg.quick { 128 } else { 1024 };
+        let name = if journal { "probe/campaign_journal_8" } else { "probe/campaign_8" };
+        benches.push((
+            name.to_string(),
+            Box::new(move || {
+                let base = std::env::temp_dir()
+                    .join(format!("sos_perf_journal_{}", std::process::id()));
+                let mut scanner = bench_study().scanner(0x5ca9);
+                let mut campaign =
+                    sos_probe::Campaign::new(&mut scanner, vec![Protocol::Icmp]);
+                let opts = sos_probe::RunOptions {
+                    shards: 8,
+                    checkpoint_every: round,
+                    checkpoint_path: None,
+                    cancel: None,
+                    stop_after_rounds: None,
+                    journal_path: journal.then(|| base.with_extension("jsonl")),
+                    snapshot_path: journal.then(|| base.with_extension("prom")),
+                    snapshot_every: 1,
+                };
+                let run = campaign.run_with(&targets, &opts, None).expect("campaign runs");
+                assert!(run.completed);
+            }),
+        ));
+    }
+
     // Offline dealiasing: longest-prefix partition of the full seed set.
     let full: Vec<Ipv6Addr> = study.pipeline().full.clone();
     benches.push((
@@ -470,10 +503,14 @@ mod tests {
     #[test]
     fn suite_names_are_stable_and_prefixed() {
         let names = bench_names(&PerfConfig::quick());
-        assert!(names.len() >= 15, "8 TGAs + 4 probe + 2 dealias + 2 trie");
+        assert!(names.len() >= 17, "8 TGAs + 6 probe + 2 dealias + 2 trie");
         for shards in [1, 4, 8] {
             assert!(names.contains(&format!("probe/scan_parallel_{shards}")));
         }
+        // The telemetry-overhead pair: identical campaign workloads, the
+        // second with the journal + snapshot writers armed.
+        assert!(names.contains(&"probe/campaign_8".to_string()));
+        assert!(names.contains(&"probe/campaign_journal_8".to_string()));
         for n in &names {
             assert!(
                 n.starts_with("gen/")

@@ -4,7 +4,9 @@
 //! seedscan <experiment> [--scale tiny|small|study] [--seed N] [--budget N]
 //!          [--threads N] [--scan-shards N] [--faults PRESET] [--breaker]
 //!          [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
-//!          [--stop-after N] [--manifest FILE] [--trace FILE] [--flame FILE]
+//!          [--stop-after N] [--journal FILE] [--snapshot-every N]
+//!          [--manifest FILE] [--trace FILE] [--flame FILE]
+//! seedscan watch <journal> [--replay] [--interval-ms N] [--max-idle-polls N]
 //!
 //! experiments:
 //!   summary      Table 3 + Table 8 (dataset composition)
@@ -36,6 +38,16 @@
 //! campaign bit-identically (`--stop-after N` stops after N rounds to
 //! simulate the kill).
 //!
+//! Live telemetry: `--journal FILE` makes the campaign append one JSON
+//! line per event (round boundaries, checkpoints, breaker and fault-epoch
+//! transitions, exact counter snapshots) and renders a Prometheus-style
+//! text snapshot next to it (`FILE` with a `.prom` extension) every
+//! `--snapshot-every N` round boundaries (default every round).
+//! `seedscan watch <journal>` tails that file from another terminal and
+//! renders a live status table; `--replay` folds a finished (or torn)
+//! journal once and prints the final state plus the exact reconstructed
+//! counter totals, which match the live run's manifest bit-for-bit.
+//!
 //! Observability: progress and milestones go to stderr at the level
 //! selected by `SOS_LOG` (default `info` here; `debug` adds span-level
 //! phase timing). `--manifest FILE` writes a JSON run manifest with the
@@ -66,6 +78,8 @@ struct Args {
     checkpoint_every: Option<usize>,
     resume: Option<String>,
     stop_after: Option<usize>,
+    journal: Option<String>,
+    snapshot_every: Option<usize>,
     manifest: Option<String>,
     trace: Option<String>,
     flame: Option<String>,
@@ -85,6 +99,8 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_every: None,
         resume: None,
         stop_after: None,
+        journal: None,
+        snapshot_every: None,
         manifest: None,
         trace: None,
         flame: None,
@@ -150,6 +166,15 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad round count: {e}"))?,
                 )
             }
+            "--journal" => args.journal = Some(it.next().ok_or("--journal needs a value")?),
+            "--snapshot-every" => {
+                args.snapshot_every = Some(
+                    it.next()
+                        .ok_or("--snapshot-every needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad snapshot interval: {e}"))?,
+                )
+            }
             "--manifest" => args.manifest = Some(it.next().ok_or("--manifest needs a value")?),
             "--trace" => args.trace = Some(it.next().ok_or("--trace needs a value")?),
             "--flame" => args.flame = Some(it.next().ok_or("--flame needs a value")?),
@@ -169,15 +194,98 @@ fn usage() {
         "usage: seedscan <experiment> [--scale tiny|small|study] [--seed N] [--budget N]\n\
          \u{20}                [--threads N] [--scan-shards N] [--faults PRESET] [--breaker]\n\
          \u{20}                [--checkpoint FILE] [--checkpoint-every N] [--resume FILE] [--stop-after N]\n\
+         \u{20}                [--journal FILE] [--snapshot-every N]\n\
          \u{20}                [--manifest FILE] [--trace FILE] [--flame FILE]\n\
+         \u{20}      seedscan watch <journal> [--replay] [--interval-ms N] [--max-idle-polls N]\n\
          experiments: summary overlap rq1 rq2 rq3 rq4 appendix-d raw recommend as-kind budget-sweep export campaign all\n\
          fault presets: off bursty ratelimited blackholes throttled hostile\n\
          env: SOS_LOG=off|error|warn|info|debug|trace (stderr verbosity, default info)"
     );
 }
 
+/// `seedscan watch <journal> [--replay] [--interval-ms N] [--max-idle-polls N]`
+///
+/// `--replay` folds the journal once and prints the final status plus the
+/// exact reconstructed counter totals. Without it, the journal is tailed
+/// live until a `campaign_end` record arrives; `--max-idle-polls N`
+/// detaches after N consecutive empty polls (for scripted use against a
+/// killed campaign's journal).
+fn run_watch(rest: Vec<String>) -> ExitCode {
+    let mut journal: Option<String> = None;
+    let mut replay = false;
+    let mut interval_ms: u64 = 500;
+    let mut max_idle_polls: Option<u64> = None;
+    let mut it = rest.into_iter();
+    let parse_err = loop {
+        let Some(a) = it.next() else { break None };
+        match a.as_str() {
+            "--replay" => replay = true,
+            "--interval-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => interval_ms = v,
+                None => break Some("--interval-ms needs an integer value".to_string()),
+            },
+            "--max-idle-polls" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_idle_polls = Some(v),
+                None => break Some("--max-idle-polls needs an integer value".to_string()),
+            },
+            other if journal.is_none() && !other.starts_with('-') => {
+                journal = Some(other.to_string())
+            }
+            other => break Some(format!("unexpected watch argument: {other}")),
+        }
+    };
+    let journal = match (parse_err, journal) {
+        (Some(e), _) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+        (None, None) => {
+            eprintln!("error: watch needs a journal path");
+            usage();
+            return ExitCode::FAILURE;
+        }
+        (None, Some(j)) => j,
+    };
+    let path = std::path::Path::new(&journal);
+    if replay {
+        match sos_core::watch::replay(path) {
+            Ok(state) => {
+                print!("{}", state.render());
+                println!("final counters (reconstructed from last snapshot):");
+                print!("{}", state.render_counters());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: replaying {journal}: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let mut out = std::io::stdout();
+        match sos_core::watch::watch_live(
+            path,
+            std::time::Duration::from_millis(interval_ms),
+            max_idle_polls,
+            &mut out,
+        ) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: watching {journal}: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     sos_obs::log::init_from_env_or(sos_obs::Level::Info);
+    {
+        let mut raw = std::env::args().skip(1);
+        if raw.next().as_deref() == Some("watch") {
+            return run_watch(raw.collect());
+        }
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -419,6 +527,13 @@ fn main() -> ExitCode {
             checkpoint_path: args.checkpoint.as_ref().map(std::path::PathBuf::from),
             cancel: None,
             stop_after_rounds: args.stop_after,
+            journal_path: args.journal.as_ref().map(std::path::PathBuf::from),
+            // The Prometheus-style text snapshot rides next to the journal.
+            snapshot_path: args
+                .journal
+                .as_ref()
+                .map(|p| std::path::PathBuf::from(p).with_extension("prom")),
+            snapshot_every: args.snapshot_every.unwrap_or(1),
         };
         let outcome = match campaign.run_with(&targets, &opts, resume.as_ref()) {
             Ok(o) => o,

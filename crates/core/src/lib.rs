@@ -30,6 +30,7 @@ pub mod par;
 pub mod report;
 pub mod runner;
 pub mod study;
+pub mod watch;
 
 pub use config::StudyConfig;
 pub use metrics::{performance_ratio, RunMetrics};

@@ -148,13 +148,18 @@ mod tests {
 
     #[test]
     fn whole_64_alias_reported_at_the_coarsest_rung() {
-        let world = Arc::new(World::build(WorldConfig::tiny(61)));
-        let region = world
-            .alias_regions()
-            .iter()
-            .find(|r| r.prefix.len() == 64 && r.loss == 0.0 && r.ports.contains(Protocol::Icmp))
-            .expect("a /64 alias region")
-            .clone();
+        // Which seeds yield a lossless /64 ICMP alias region shifts
+        // whenever world generation grows a feature, so search a small
+        // deterministic seed range instead of pinning one seed.
+        let (world, region) = (0..64u64)
+            .find_map(|seed| {
+                let world = Arc::new(World::build(WorldConfig::tiny(seed)));
+                let region = world.alias_regions().iter().find(|r| {
+                    r.prefix.len() == 64 && r.loss == 0.0 && r.ports.contains(Protocol::Icmp)
+                })?.clone();
+                Some((world, region))
+            })
+            .expect("a /64 alias region in some tiny world");
         let mut s = scanner(world);
         let mut d = MultiGrainDealiaser::standard(2);
         let inside = Ipv6Addr::from(u128::from(region.prefix.network()) | 0xbeef);

@@ -24,6 +24,17 @@ use v6addr::{rand_in_prefix, Prefix};
 
 use crate::DealiasOutcome;
 
+/// Central metric-name table for the online method (`obs-metric-names`
+/// policy: registry names are consts, never inline literals).
+pub mod names {
+    /// Distinct prefixes given the randomized-probe test.
+    pub const PREFIXES_CHECKED: &str = "dealias.online.prefixes_checked";
+    /// Probe packets spent on the test.
+    pub const PROBE_PACKETS: &str = "dealias.online.probe_packets";
+    /// Prefixes the test declared aliased.
+    pub const ALIASED_PREFIXES: &str = "dealias.online.aliased_prefixes";
+}
+
 /// Knobs of the online method. Defaults follow §4.2 exactly.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OnlineConfig {
@@ -125,10 +136,10 @@ impl OnlineDealiaser {
         self.probe_packets += spent;
         let aliased = active >= self.cfg.threshold;
         self.decided.insert(key, aliased);
-        sos_obs::counter("dealias.online.prefixes_checked").inc();
-        sos_obs::counter("dealias.online.probe_packets").add(spent);
+        sos_obs::counter(names::PREFIXES_CHECKED).inc();
+        sos_obs::counter(names::PROBE_PACKETS).add(spent);
         if aliased {
-            sos_obs::counter("dealias.online.aliased_prefixes").inc();
+            sos_obs::counter(names::ALIASED_PREFIXES).inc();
             sos_obs::debug!("aliased /{} at {} on {proto:?}", self.cfg.prefix_len, prefix.network());
         }
         aliased

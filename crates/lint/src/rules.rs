@@ -86,6 +86,11 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "taking a lock inside a per-target hot loop (probe_burst) serializes the shards the loop exists to parallelize; hoist it",
     },
     RuleInfo {
+        id: "obs-metric-names",
+        group: "observability",
+        rationale: "counter/histogram registered under an inline string literal drifts from the central name tables; route names through a `names` const module so manifests, snapshots, and dashboards stay in sync",
+    },
+    RuleInfo {
         id: "suppression-reason",
         group: "meta",
         rationale: "every `sos-lint: allow(...)` must carry a written reason; undocumented exceptions rot",
@@ -130,6 +135,11 @@ pub struct Config {
     /// backoff files where unseeded entropy sources are banned outright
     /// (chaos schedules must replay bit-identically from the world seed).
     pub fault_files: Vec<String>,
+    /// Workspace-relative path substrings exempt from `obs-metric-names`:
+    /// the observability layer itself (which defines the registry API and
+    /// documents names in prose) — everywhere else, metric names must be
+    /// consts from a central `names` table, not inline literals.
+    pub metric_table_files: Vec<String>,
 }
 
 impl Default for Config {
@@ -159,6 +169,7 @@ impl Default for Config {
             ]
             .map(String::from)
             .to_vec(),
+            metric_table_files: vec!["crates/obs/src/".to_string()],
         }
     }
 }
@@ -313,6 +324,11 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     }
 
     hot_loop_rule(toks, &cfg.hot_fns, &mut push);
+
+    // --- observability ---------------------------------------------------
+    if prod_code && !cfg.metric_table_files.iter().any(|f| rel_path.contains(f.as_str())) {
+        metric_name_rule(toks, &mut push);
+    }
 
     // --- meta: suppressions without reasons ------------------------------
     for s in &supps {
@@ -524,6 +540,31 @@ fn indexing_rule(lexed: &Lexed, lines: &[&str], push: &mut impl FnMut(&'static s
             );
         }
         i = j.max(i + 1);
+    }
+}
+
+/// `obs-metric-names`: flag a string literal as the *name* argument of a
+/// registry lookup — `counter("...")`, `histogram("...")`, and their
+/// `_with` labeled variants. Names must be consts from a central `names`
+/// module (`counter(names::HITS)`); dynamic names built with `format!`
+/// are not literals and stay out of scope.
+fn metric_name_rule(toks: &[Tok], push: &mut impl FnMut(&'static str, u32, String)) {
+    const REGISTRY_FNS: &[&str] = &["counter", "histogram", "counter_with", "histogram_with"];
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && REGISTRY_FNS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Str)
+        {
+            push(
+                "obs-metric-names",
+                t.line,
+                format!(
+                    "`{}(\"…\")` with an inline name literal; use a const from the central `names` table",
+                    t.text
+                ),
+            );
+        }
     }
 }
 
@@ -753,6 +794,27 @@ mod tests {
         assert!(find("crates/probe/src/transport.rs", hoisted)
             .iter()
             .all(|f| f.rule != "conc-lock-in-hot-loop"));
+    }
+
+    #[test]
+    fn metric_name_literals_flagged_in_prod_code_only() {
+        let lit = "fn f() { sos_obs::counter(\"probe.hits\").inc(); }";
+        let fs = find("crates/probe/src/engine.rs", lit);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "obs-metric-names");
+        let labeled = "fn f(r: &Registry) { r.histogram_with(\"wait.us\", &Labels::new()).record(1); }";
+        let fs = find("crates/core/src/runner.rs", labeled);
+        assert!(fs.iter().any(|f| f.rule == "obs-metric-names"), "{fs:?}");
+        // Names routed through a const table are the sanctioned shape.
+        let named = "fn f() { sos_obs::counter(names::HITS).inc(); }";
+        assert!(find("crates/probe/src/engine.rs", named).is_empty());
+        // Dynamic names are not literals; out of scope.
+        let dynamic = "fn f(label: &str) { sos_obs::counter(&format!(\"tga.{label}.x\")).inc(); }";
+        assert!(find("crates/tga/src/lib.rs", dynamic).is_empty());
+        // Tests and the observability layer itself are exempt.
+        let in_tests = "#[cfg(test)]\nmod tests { fn t() { sos_obs::counter(\"x\").inc(); } }";
+        assert!(find("crates/probe/src/engine.rs", in_tests).is_empty());
+        assert!(find("crates/obs/src/metrics.rs", lit).is_empty());
     }
 
     #[test]

@@ -14,6 +14,7 @@ const PANIC_FAMILY: &str = include_str!("fixtures/panic_family.rs");
 const CONC: &str = include_str!("fixtures/conc.rs");
 const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
 const TEST_REGION: &str = include_str!("fixtures/test_region.rs");
+const METRIC_NAMES: &str = include_str!("fixtures/obs_metric_names.rs");
 
 fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
     findings.iter().map(|f| f.rule).collect()
@@ -139,6 +140,25 @@ fn relaxed_allowed_in_obs_and_static_mut_everywhere_banned() {
     assert!(rules_of(&lint("crates/core/src/fx.rs", TEST_REGION)).contains(&"conc-static-mut"));
 }
 
+// --- observability --------------------------------------------------------
+
+#[test]
+fn metric_name_literals_flagged_outside_the_obs_layer() {
+    let hits = lint("crates/probe/src/fx.rs", METRIC_NAMES);
+    let fired: Vec<&Finding> =
+        hits.iter().filter(|f| f.rule == "obs-metric-names").collect();
+    // counter, histogram, counter_with, histogram_with — one each in
+    // violations(); the const-table and format! forms in permitted() and
+    // the #[cfg(test)] literal stay quiet.
+    assert_eq!(fired.len(), 4, "{hits:?}");
+    assert!(fired.iter().all(|f| f.line <= 15), "{fired:?}");
+    // The observability layer itself is the one place literals may live.
+    assert!(!rules_of(&lint("crates/obs/src/fx.rs", METRIC_NAMES)).contains(&"obs-metric-names"));
+    // Tests may use ad-hoc names.
+    assert!(!rules_of(&lint("crates/probe/tests/fx.rs", METRIC_NAMES))
+        .contains(&"obs-metric-names"));
+}
+
 // --- suppressions and test regions ---------------------------------------
 
 #[test]
@@ -170,6 +190,7 @@ fn every_rule_is_exercised_by_these_fixtures() {
         ("crates/tga/src/fx.rs", PANIC_FAMILY),
         ("crates/core/src/fx.rs", CONC),
         ("crates/tga/src/fx.rs", SUPPRESSED),
+        ("crates/probe/src/fx.rs", METRIC_NAMES),
     ] {
         seen.extend(rules_of(&lint(path, src)));
     }

@@ -209,6 +209,26 @@ pub struct FaultPlan {
     seed: u64,
 }
 
+/// The epoch indices of each fault family at one probe density — what
+/// [`FaultPlan::epochs_at`] reads off the per-prefix virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEpochs {
+    /// Correlated-loss burst epoch index.
+    pub burst: u32,
+    /// Blackhole on/off epoch index.
+    pub blackhole: u32,
+    /// Throttle epoch index.
+    pub throttle: u32,
+}
+
+impl FaultEpochs {
+    /// `(family name, epoch index)` in a fixed order, for diffing and
+    /// event emission.
+    pub fn families(&self) -> [(&'static str, u32); 3] {
+        [("burst", self.burst), ("blackhole", self.blackhole), ("throttle", self.throttle)]
+    }
+}
+
 /// Domain-separation constants for the plan's independent decision
 /// streams (arbitrary, fixed).
 const BH_SITE: u64 = 0xb1ac_401e;
@@ -261,6 +281,26 @@ impl FaultPlan {
         chance(mix2(self.seed, BH_SITE), domain, self.cfg.blackhole_fraction)
     }
 
+    /// The per-family epoch indices of the `density`-th probe into a
+    /// domain — the fault layer's virtual-clock readout. Campaign
+    /// telemetry diffs these across round boundaries to report epoch
+    /// transitions without re-deriving epoch arithmetic from the config.
+    pub fn epochs_at(&self, density: u32) -> FaultEpochs {
+        FaultEpochs {
+            burst: density / self.cfg.burst_epoch,
+            blackhole: density / self.cfg.blackhole_epoch,
+            throttle: density / self.cfg.throttle_epoch,
+        }
+    }
+
+    /// Whether `domain` is dark during blackhole epoch `epoch` — the same
+    /// decision [`FaultPlan::effect`] applies, exposed per epoch so
+    /// observers can label a transition as entering or leaving darkness.
+    pub fn blackhole_dark(&self, domain: u128, epoch: u32) -> bool {
+        self.blackhole_candidate(domain)
+            && chance(mix3(self.seed, BH_EPOCH, u64::from(epoch)), domain, self.cfg.blackhole_duty)
+    }
+
     /// Decide the fate of the `density`-th probe into `domain` on
     /// `proto`. Precedence: blackhole, then rate-limit policing, then
     /// correlated burst loss, then throttle latency.
@@ -270,13 +310,10 @@ impl FaultPlan {
         }
         let proto_seed = mix2(self.seed, proto.index() as u64);
 
-        if self.blackhole_candidate(domain) {
-            let epoch = u64::from(density / self.cfg.blackhole_epoch);
-            // The on/off schedule is per prefix (not per protocol): a
-            // withdrawn route is dark for every probe type.
-            if chance(mix3(self.seed, BH_EPOCH, epoch), domain, self.cfg.blackhole_duty) {
-                return FaultEffect::Drop(FaultKind::Blackhole);
-            }
+        // The on/off schedule is per prefix (not per protocol): a
+        // withdrawn route is dark for every probe type.
+        if self.blackhole_dark(domain, density / self.cfg.blackhole_epoch) {
+            return FaultEffect::Drop(FaultKind::Blackhole);
         }
 
         if density > self.cfg.ratelimit_threshold {
@@ -432,6 +469,30 @@ mod tests {
         }
         let frac = throttled_epochs as f64 / 400.0;
         assert!((frac - 0.3).abs() < 0.1, "throttled fraction {frac}");
+    }
+
+    #[test]
+    fn epoch_readout_matches_effect_boundaries() {
+        let p = plan(FaultConfig::hostile());
+        let cfg = p.config().clone();
+        for d in [0, 1, 31, 32, 63, 64, 1000] {
+            let e = p.epochs_at(d);
+            assert_eq!(e.burst, d / cfg.burst_epoch);
+            assert_eq!(e.blackhole, d / cfg.blackhole_epoch);
+            assert_eq!(e.throttle, d / cfg.throttle_epoch);
+        }
+        let families = p.epochs_at(64).families();
+        assert_eq!(families.map(|(name, _)| name), ["burst", "blackhole", "throttle"]);
+        // blackhole_dark agrees with effect(): at duty 1.0 a candidate is
+        // dark in every epoch, and effect() reports the same drop.
+        let bh = plan(FaultConfig::blackholes(1.0, 1.0));
+        for d in [0u32, 63, 64, 500] {
+            let epoch = bh.epochs_at(d).blackhole;
+            assert_eq!(
+                bh.blackhole_dark(42, epoch),
+                bh.effect(42, Protocol::Icmp, d) == FaultEffect::Drop(FaultKind::Blackhole),
+            );
+        }
     }
 
     #[test]

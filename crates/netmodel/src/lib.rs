@@ -42,7 +42,7 @@ pub use alias::AliasRegion;
 pub use asreg::{AsInfo, AsKind, AsRegistry, Asn, Country};
 pub use config::WorldConfig;
 pub use dns::{DnsUniverse, DomainRecord};
-pub use faults::{FaultConfig, FaultEffect, FaultKind, FaultPlan};
+pub use faults::{FaultConfig, FaultEffect, FaultEpochs, FaultKind, FaultPlan};
 pub use hosts::{AddrMap, HostKind, HostRecord};
 pub use scheme::AddressingScheme;
 pub use services::{PortSet, Protocol, PROTOCOLS};

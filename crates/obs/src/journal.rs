@@ -1,0 +1,624 @@
+//! Append-only JSONL campaign event journal.
+//!
+//! A journal is the live counterpart of the manifest: instead of one
+//! document at exit, the campaign appends one self-contained JSON line
+//! per event — round boundaries, checkpoint writes, resumes, breaker and
+//! fault-epoch transitions, periodic counter snapshots — as they happen.
+//! `seedscan watch` tails the file to render live status, and replaying
+//! the lines reconstructs the final counter totals bit-identically to the
+//! live run (the `snapshot` events carry exact `u64` values).
+//!
+//! Three properties make the format crash-tolerant:
+//!
+//! - **Tmp-free, line-buffered writes.** Every event is a single
+//!   `write_all` of one `\n`-terminated line straight to the journal
+//!   file; there is no rename dance and no internal buffering, so a
+//!   killed campaign loses at most the line being written.
+//! - **Torn-tail tolerance.** Readers parse complete lines only; a
+//!   truncated final line (the kill case) is ignored rather than an
+//!   error, and a tailing reader picks it up once the newline lands.
+//! - **Deterministic payloads.** Every record carries the campaign's
+//!   virtual clock (`vclock_us`, derived from deterministic report
+//!   accounting) next to the process wall clock (`wall_s`); everything
+//!   except `wall_s` and `seq`-independent ordering is bit-identical
+//!   across shard counts.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+
+/// Bumped when the line schema changes incompatibly.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// One typed campaign event (the payload of a journal line).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A fresh campaign began: identity and shape of the run.
+    CampaignStart {
+        /// Campaign identity fingerprint (matches the checkpoint's).
+        fingerprint: u64,
+        /// Prepared targets to scan.
+        targets: u64,
+        /// Protocol names, in scan order.
+        protocols: Vec<String>,
+        /// Shards per round.
+        shards: u64,
+        /// Prepared targets per round.
+        round_size: u64,
+    },
+    /// A checkpoint was restored and the campaign continued.
+    Resume {
+        /// Fingerprint of the resumed campaign.
+        fingerprint: u64,
+        /// Targets already done at resume.
+        done: u64,
+        /// Rounds already executed at resume.
+        rounds: u64,
+    },
+    /// A round of targets is about to be scanned.
+    RoundStart {
+        /// 1-based round number across the campaign's lifetime.
+        round: u64,
+        /// First prepared-target index of the round (inclusive).
+        from: u64,
+        /// One past the last prepared-target index of the round.
+        to: u64,
+    },
+    /// A round finished; deltas are for this round only.
+    RoundEnd {
+        /// 1-based round number.
+        round: u64,
+        /// Targets done after this round.
+        done: u64,
+        /// Total prepared targets.
+        total: u64,
+        /// Hits this round (summed over protocols).
+        hits: u64,
+        /// Probe packets this round (summed over protocols).
+        packets: u64,
+    },
+    /// A checkpoint file was written.
+    CheckpointWrite {
+        /// Fingerprint stored in the checkpoint.
+        fingerprint: u64,
+        /// Targets done at the checkpoint boundary.
+        done: u64,
+        /// Rounds executed at the checkpoint boundary.
+        rounds: u64,
+    },
+    /// A circuit breaker changed state at a round boundary.
+    Breaker {
+        /// Breaker prefix domain (top bits of the address).
+        domain: u128,
+        /// Protocol index.
+        proto: u8,
+        /// State before the round (`closed`, `open`, `half-open`).
+        from: String,
+        /// State after the round.
+        to: String,
+    },
+    /// A fault-domain epoch clock advanced at a round boundary.
+    FaultEpoch {
+        /// Fault prefix domain.
+        domain: u128,
+        /// Protocol index.
+        proto: u8,
+        /// Epoch family (`burst`, `blackhole`, `throttle`).
+        kind: String,
+        /// The new epoch index.
+        epoch: u64,
+    },
+    /// A periodic counter snapshot (exact values; replay-grade).
+    Snapshot {
+        /// Campaign fingerprint (ties the snapshot to a checkpoint).
+        fingerprint: u64,
+        /// Targets done when the snapshot was taken.
+        done: u64,
+        /// Every engine counter, by name, exact.
+        counters: BTreeMap<String, u64>,
+    },
+    /// The campaign returned.
+    CampaignEnd {
+        /// Whether every prepared target was scanned.
+        completed: bool,
+        /// Rounds executed across the campaign's lifetime.
+        rounds: u64,
+        /// Targets restored as already-done by a resume.
+        resumed_targets: u64,
+    },
+}
+
+fn hex128(v: u128) -> Json {
+    Json::Str(format!("{v:032x}"))
+}
+
+fn get_u64(j: &Json, key: &str) -> Result<u64, String> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("journal record missing integer field {key:?}"))
+}
+
+fn get_str(j: &Json, key: &str) -> Result<String, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("journal record missing string field {key:?}"))
+}
+
+fn get_hex128(j: &Json, key: &str) -> Result<u128, String> {
+    let s = j
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("journal record missing hex field {key:?}"))?;
+    u128::from_str_radix(s, 16).map_err(|e| format!("bad hex in {key:?}: {e}"))
+}
+
+fn get_fingerprint(j: &Json) -> Result<u64, String> {
+    let s = j
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or("journal record missing fingerprint")?;
+    u64::from_str_radix(s, 16).map_err(|e| format!("bad fingerprint: {e}"))
+}
+
+impl Event {
+    /// The record's `ev` discriminator.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CampaignStart { .. } => "campaign_start",
+            Event::Resume { .. } => "resume",
+            Event::RoundStart { .. } => "round_start",
+            Event::RoundEnd { .. } => "round_end",
+            Event::CheckpointWrite { .. } => "checkpoint",
+            Event::Breaker { .. } => "breaker",
+            Event::FaultEpoch { .. } => "fault_epoch",
+            Event::Snapshot { .. } => "snapshot",
+            Event::CampaignEnd { .. } => "campaign_end",
+        }
+    }
+
+    /// Serialize the event-specific fields into `o`.
+    fn fill_json(&self, o: &mut Json) {
+        match self {
+            Event::CampaignStart { fingerprint, targets, protocols, shards, round_size } => {
+                o.set("fingerprint", crate::manifest::digest_hex(*fingerprint))
+                    .set("targets", *targets)
+                    .set(
+                        "protocols",
+                        Json::Arr(protocols.iter().map(|p| Json::Str(p.clone())).collect()),
+                    )
+                    .set("shards", *shards)
+                    .set("round_size", *round_size);
+            }
+            Event::Resume { fingerprint, done, rounds } => {
+                o.set("fingerprint", crate::manifest::digest_hex(*fingerprint))
+                    .set("done", *done)
+                    .set("rounds", *rounds);
+            }
+            Event::RoundStart { round, from, to } => {
+                o.set("round", *round).set("from", *from).set("to", *to);
+            }
+            Event::RoundEnd { round, done, total, hits, packets } => {
+                o.set("round", *round)
+                    .set("done", *done)
+                    .set("total", *total)
+                    .set("hits", *hits)
+                    .set("packets", *packets);
+            }
+            Event::CheckpointWrite { fingerprint, done, rounds } => {
+                o.set("fingerprint", crate::manifest::digest_hex(*fingerprint))
+                    .set("done", *done)
+                    .set("rounds", *rounds);
+            }
+            Event::Breaker { domain, proto, from, to } => {
+                o.set("domain", hex128(*domain))
+                    .set("proto", u64::from(*proto))
+                    .set("from", from.as_str())
+                    .set("to", to.as_str());
+            }
+            Event::FaultEpoch { domain, proto, kind, epoch } => {
+                o.set("domain", hex128(*domain))
+                    .set("proto", u64::from(*proto))
+                    .set("kind", kind.as_str())
+                    .set("epoch", *epoch);
+            }
+            Event::Snapshot { fingerprint, done, counters } => {
+                o.set("fingerprint", crate::manifest::digest_hex(*fingerprint))
+                    .set("done", *done)
+                    .set("counters", counters);
+            }
+            Event::CampaignEnd { completed, rounds, resumed_targets } => {
+                o.set("completed", *completed)
+                    .set("rounds", *rounds)
+                    .set("resumed_targets", *resumed_targets);
+            }
+        }
+    }
+
+    /// Parse the event-specific fields of a record object.
+    fn from_json(kind: &str, j: &Json) -> Result<Event, String> {
+        Ok(match kind {
+            "campaign_start" => Event::CampaignStart {
+                fingerprint: get_fingerprint(j)?,
+                targets: get_u64(j, "targets")?,
+                protocols: j
+                    .get("protocols")
+                    .and_then(Json::as_arr)
+                    .ok_or("campaign_start missing protocols")?
+                    .iter()
+                    .map(|p| p.as_str().map(str::to_string).ok_or("bad protocol name"))
+                    .collect::<Result<Vec<_>, _>>()?,
+                shards: get_u64(j, "shards")?,
+                round_size: get_u64(j, "round_size")?,
+            },
+            "resume" => Event::Resume {
+                fingerprint: get_fingerprint(j)?,
+                done: get_u64(j, "done")?,
+                rounds: get_u64(j, "rounds")?,
+            },
+            "round_start" => Event::RoundStart {
+                round: get_u64(j, "round")?,
+                from: get_u64(j, "from")?,
+                to: get_u64(j, "to")?,
+            },
+            "round_end" => Event::RoundEnd {
+                round: get_u64(j, "round")?,
+                done: get_u64(j, "done")?,
+                total: get_u64(j, "total")?,
+                hits: get_u64(j, "hits")?,
+                packets: get_u64(j, "packets")?,
+            },
+            "checkpoint" => Event::CheckpointWrite {
+                fingerprint: get_fingerprint(j)?,
+                done: get_u64(j, "done")?,
+                rounds: get_u64(j, "rounds")?,
+            },
+            "breaker" => Event::Breaker {
+                domain: get_hex128(j, "domain")?,
+                proto: get_u64(j, "proto")? as u8,
+                from: get_str(j, "from")?,
+                to: get_str(j, "to")?,
+            },
+            "fault_epoch" => Event::FaultEpoch {
+                domain: get_hex128(j, "domain")?,
+                proto: get_u64(j, "proto")? as u8,
+                kind: get_str(j, "kind")?,
+                epoch: get_u64(j, "epoch")?,
+            },
+            "snapshot" => Event::Snapshot {
+                fingerprint: get_fingerprint(j)?,
+                done: get_u64(j, "done")?,
+                counters: j
+                    .get("counters")
+                    .and_then(Json::entries)
+                    .ok_or("snapshot missing counters")?
+                    .iter()
+                    .map(|(k, v)| Ok((k.clone(), v.as_u64().ok_or("bad counter value")?)))
+                    .collect::<Result<BTreeMap<_, _>, String>>()?,
+            },
+            "campaign_end" => Event::CampaignEnd {
+                completed: j
+                    .get("completed")
+                    .and_then(Json::as_bool)
+                    .ok_or("campaign_end missing completed")?,
+                rounds: get_u64(j, "rounds")?,
+                resumed_targets: get_u64(j, "resumed_targets")?,
+            },
+            other => return Err(format!("unknown journal event kind {other:?}")),
+        })
+    }
+}
+
+/// One journal line: sequence number, both clocks, and the typed event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Monotone per-journal line number (continues across resumes).
+    pub seq: u64,
+    /// Deterministic campaign virtual clock, microseconds.
+    pub vclock_us: u64,
+    /// Process wall clock when the line was written (seconds since the
+    /// first observability call; diagnostic only, never result-bearing).
+    pub wall_s: f64,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl Record {
+    /// Serialize to one compact JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut o = Json::obj();
+        o.set("v", JOURNAL_VERSION)
+            .set("seq", self.seq)
+            .set("ev", self.event.kind())
+            .set("vclock_us", self.vclock_us)
+            .set("wall_s", self.wall_s);
+        self.event.fill_json(&mut o);
+        o.to_string()
+    }
+
+    /// Parse one complete journal line.
+    pub fn parse_line(line: &str) -> Result<Record, String> {
+        let j = Json::parse(line)?;
+        let version = get_u64(&j, "v")?;
+        if version != JOURNAL_VERSION {
+            return Err(format!("unsupported journal version {version}"));
+        }
+        let kind = get_str(&j, "ev")?;
+        Ok(Record {
+            seq: get_u64(&j, "seq")?,
+            vclock_us: get_u64(&j, "vclock_us")?,
+            wall_s: j
+                .get("wall_s")
+                .and_then(Json::as_f64)
+                .ok_or("journal record missing wall_s")?,
+            event: Event::from_json(&kind, &j)?,
+        })
+    }
+}
+
+/// Appends journal records to a file, one flushed line per event.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+    seq: u64,
+}
+
+impl JournalWriter {
+    /// Start a fresh journal at `path`, truncating any existing file.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<JournalWriter> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        Ok(JournalWriter { file, path, seq: 0 })
+    }
+
+    /// Continue an existing journal (campaign resume): records append
+    /// after whatever is already there, and the sequence number continues
+    /// from the last complete line. A missing file starts fresh.
+    pub fn append(path: impl Into<PathBuf>) -> io::Result<JournalWriter> {
+        let path = path.into();
+        let seq = match read_records(&path) {
+            Ok(records) => records.last().map_or(0, |r| r.seq + 1),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(JournalWriter { file, path, seq })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The sequence number the next record will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Append one event, stamped with `vclock_us` and the process wall
+    /// clock, as a single flushed line.
+    pub fn write(&mut self, vclock_us: u64, event: Event) -> io::Result<()> {
+        let record = Record {
+            seq: self.seq,
+            vclock_us,
+            wall_s: crate::now_s(),
+            event,
+        };
+        let mut line = record.to_line();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.seq += 1;
+        Ok(())
+    }
+}
+
+/// Read every complete, parseable record in the journal. A truncated or
+/// corrupt **final** line (the signature a killed writer leaves) is
+/// silently dropped; a corrupt line anywhere else is an error.
+pub fn read_records(path: &Path) -> io::Result<Vec<Record>> {
+    let (records, _) = read_from(path, 0)?;
+    Ok(records)
+}
+
+/// Incremental read for tailing: parse complete (`\n`-terminated) lines
+/// starting at byte `offset`, returning the records plus the offset where
+/// the next read should start. A partial trailing line is left for the
+/// next call; a corrupt complete line that is **not** the file's current
+/// last line is an error (torn tails are expected, torn middles are not).
+pub fn read_from(path: &Path, offset: u64) -> io::Result<(Vec<Record>, u64)> {
+    let mut file = File::open(path)?;
+    file.seek(SeekFrom::Start(offset))?;
+    let mut buf = String::new();
+    file.read_to_string(&mut buf)?;
+
+    let mut records = Vec::new();
+    let mut consumed = 0usize;
+    let mut rest = buf.as_str();
+    while let Some(nl) = rest.find('\n') {
+        let line = &rest[..nl];
+        let whole = nl + 1;
+        if !line.trim().is_empty() {
+            match Record::parse_line(line) {
+                Ok(r) => records.push(r),
+                Err(e) => {
+                    // A complete-but-corrupt line is tolerable only at the
+                    // very tail (a kill can tear a line even after its
+                    // newline is visible on some filesystems).
+                    if rest[whole..].trim().is_empty() {
+                        break;
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt journal line at byte {}: {e}", offset as usize + consumed),
+                    ));
+                }
+            }
+        }
+        consumed += whole;
+        rest = &rest[whole..];
+    }
+    Ok((records, offset + consumed as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(name)
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::CampaignStart {
+                fingerprint: 0xdead_beef,
+                targets: 100,
+                protocols: vec!["Icmp".into(), "Tcp80".into()],
+                shards: 4,
+                round_size: 25,
+            },
+            Event::RoundStart { round: 1, from: 0, to: 25 },
+            Event::Breaker {
+                domain: 0x2001_0db8,
+                proto: 0,
+                from: "closed".into(),
+                to: "open".into(),
+            },
+            Event::FaultEpoch { domain: 0x2001_0db8, proto: 1, kind: "burst".into(), epoch: 3 },
+            Event::RoundEnd { round: 1, done: 25, total: 100, hits: 7, packets: 310 },
+            Event::CheckpointWrite { fingerprint: 0xdead_beef, done: 25, rounds: 1 },
+            Event::Snapshot {
+                fingerprint: 0xdead_beef,
+                done: 25,
+                counters: [("probe.hits".to_string(), 7u64), ("probe.packets_sent".into(), 310)]
+                    .into_iter()
+                    .collect(),
+            },
+            Event::Resume { fingerprint: 0xdead_beef, done: 25, rounds: 1 },
+            Event::CampaignEnd { completed: true, rounds: 4, resumed_targets: 25 },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_a_line() {
+        for (i, event) in sample_events().into_iter().enumerate() {
+            let rec = Record { seq: i as u64, vclock_us: 1000 * i as u64, wall_s: 0.5, event };
+            let line = rec.to_line();
+            assert!(!line.contains('\n'), "one event, one line");
+            let back = Record::parse_line(&line).expect("parses");
+            assert_eq!(back, rec, "event {i} must round-trip");
+        }
+    }
+
+    #[test]
+    fn writer_appends_and_reader_replays_in_order() {
+        let path = tmp("sos_obs_journal_basic.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JournalWriter::create(&path).unwrap();
+            for (i, event) in sample_events().into_iter().enumerate() {
+                w.write(i as u64 * 10, event).unwrap();
+            }
+        }
+        let records = read_records(&path).unwrap();
+        assert_eq!(records.len(), sample_events().len());
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "sequence is dense");
+            assert_eq!(r.vclock_us, i as u64 * 10);
+            assert_eq!(r.event, sample_events()[i]);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_continues_sequence_numbers() {
+        let path = tmp("sos_obs_journal_append.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JournalWriter::create(&path).unwrap();
+            w.write(0, Event::RoundStart { round: 1, from: 0, to: 10 }).unwrap();
+            w.write(5, Event::RoundEnd { round: 1, done: 10, total: 20, hits: 1, packets: 10 })
+                .unwrap();
+        }
+        {
+            let mut w = JournalWriter::append(&path).unwrap();
+            assert_eq!(w.next_seq(), 2, "sequence continues after reopen");
+            w.write(9, Event::Resume { fingerprint: 1, done: 10, rounds: 1 }).unwrap();
+        }
+        let records = read_records(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].seq, 2);
+        assert!(matches!(records[2].event, Event::Resume { .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let path = tmp("sos_obs_journal_torn.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JournalWriter::create(&path).unwrap();
+            w.write(0, Event::RoundStart { round: 1, from: 0, to: 10 }).unwrap();
+        }
+        // Simulate a kill mid-write: a partial line with no newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"v\":1,\"seq\":1,\"ev\":\"round_e").unwrap();
+        }
+        let records = read_records(&path).unwrap();
+        assert_eq!(records.len(), 1, "torn tail ignored");
+        // A complete-but-corrupt final line is also tolerated.
+        let path2 = tmp("sos_obs_journal_torn2.jsonl");
+        let _ = std::fs::remove_file(&path2);
+        {
+            let mut w = JournalWriter::create(&path2).unwrap();
+            w.write(0, Event::RoundStart { round: 1, from: 0, to: 10 }).unwrap();
+            let mut f = OpenOptions::new().append(true).open(&path2).unwrap();
+            f.write_all(b"{\"v\":1,garbage\n").unwrap();
+        }
+        assert_eq!(read_records(&path2).unwrap().len(), 1);
+        // ... but corruption in the middle is an error.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path2).unwrap();
+            f.write_all(b"{\"v\":1,\"seq\":9,\"ev\":\"round_start\",\"vclock_us\":0,\"wall_s\":0.0,\"round\":2,\"from\":10,\"to\":20}\n")
+                .unwrap();
+        }
+        assert!(read_records(&path2).is_err(), "mid-file corruption surfaces");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&path2);
+    }
+
+    #[test]
+    fn read_from_tails_incrementally() {
+        let path = tmp("sos_obs_journal_tail.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.write(0, Event::RoundStart { round: 1, from: 0, to: 5 }).unwrap();
+        let (first, off) = read_from(&path, 0).unwrap();
+        assert_eq!(first.len(), 1);
+        let (none, off2) = read_from(&path, off).unwrap();
+        assert!(none.is_empty());
+        assert_eq!(off, off2, "no new data, offset unchanged");
+        w.write(3, Event::RoundEnd { round: 1, done: 5, total: 5, hits: 2, packets: 9 })
+            .unwrap();
+        let (next, off3) = read_from(&path, off2).unwrap();
+        assert_eq!(next.len(), 1);
+        assert!(off3 > off2);
+        assert!(matches!(next[0].event, Event::RoundEnd { .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_append_starts_fresh() {
+        let path = tmp("sos_obs_journal_fresh.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let w = JournalWriter::append(&path).unwrap();
+        assert_eq!(w.next_seq(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

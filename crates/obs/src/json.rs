@@ -76,6 +76,14 @@ impl Json {
         }
     }
 
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// String value.
     pub fn as_str(&self) -> Option<&str> {
         match self {

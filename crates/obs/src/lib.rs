@@ -7,12 +7,18 @@
 //! are write-only from the engine's perspective; timings surface only in
 //! logs and manifests, so deterministic experiments stay deterministic.
 //!
-//! Four pieces, all zero-dependency:
+//! The pieces, all zero-dependency:
 //!
-//! - [`metrics`]: lock-free [`Counter`]s and log₂-bucket [`Histogram`]s,
-//!   plus a global named [`Registry`] every crate in the pipeline feeds
-//!   (packets, retries, drops, classification outcomes, dealias spend,
-//!   generation throughput).
+//! - [`metrics`]: lock-free [`Counter`]s and log₂-bucket [`Histogram`]s —
+//!   flat or labeled (`probe.hits{proto=tcp}`) — plus a global named
+//!   [`Registry`] every crate in the pipeline feeds (packets, retries,
+//!   drops, classification outcomes, dealias spend, generation
+//!   throughput), and a Prometheus-style [`SnapshotExporter`].
+//! - [`journal`]: the live telemetry surface — an append-only,
+//!   crash-tolerant JSONL stream of typed campaign events (rounds,
+//!   checkpoints, breaker and fault-epoch transitions, counter
+//!   snapshots), each stamped with the deterministic virtual clock plus
+//!   wall time. `seedscan watch` tails it.
 //! - [`span`]: hierarchical wall-clock spans
 //!   (`study → cell → {generate, scan, dealias}`), recorded globally and
 //!   echoed to stderr when `SOS_LOG=debug`.
@@ -27,6 +33,7 @@
 //!   and self-time attribution as collapsed stacks (`--flame`) for
 //!   flamegraph tooling.
 
+pub mod journal;
 pub mod json;
 pub mod log;
 pub mod manifest;
@@ -36,12 +43,16 @@ pub mod progress;
 pub mod span;
 pub mod trace;
 
+pub use journal::{Event, JournalWriter, Record};
 pub use json::Json;
 pub use log::Level;
 pub use manifest::{fnv1a64, Manifest};
-pub use metrics::{counter, global as registry, histogram, Counter, Histogram, Registry};
+pub use metrics::{
+    counter, counter_with, global as registry, histogram, histogram_with, render_prometheus,
+    Counter, Histogram, Labels, Registry, SnapshotExporter,
+};
 pub use par::ParStats;
-pub use progress::Progress;
+pub use progress::{eta_s, Progress};
 pub use span::{span, span_detail, Span};
 
 use std::sync::OnceLock;

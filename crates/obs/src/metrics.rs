@@ -4,8 +4,22 @@
 //! resolved once (at scanner construction), so per-packet accounting never
 //! takes a lock. The registry mutex is touched only on first registration
 //! and on snapshot.
+//!
+//! ## Labeled metrics
+//!
+//! A labeled metric is an ordinary [`Counter`] or [`Histogram`] registered
+//! under its canonical rendered name `base{k=v,k2=v2}` (label keys
+//! sorted), built by [`Labels`] and resolved through
+//! [`Registry::counter_with`] / [`Registry::histogram_with`]. Because a
+//! label combination is just a registry name, the hot path stays the same
+//! two atomic adds — resolve the handle once, increment forever — and
+//! every snapshot/manifest serializer picks labeled series up with zero
+//! extra code. [`render_prometheus`] parses the canonical form back apart
+//! to emit standard text exposition.
 
 use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -293,6 +307,202 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
     global().histogram(name)
 }
 
+/// A small, fixed set of `key=value` labels for one metric series.
+///
+/// Keys are kept sorted so the same label set always renders to the same
+/// canonical name regardless of insertion order. Label keys and values
+/// must not contain `{`, `}`, `,`, or `=` — they pass through to the
+/// rendered registry name verbatim.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Labels {
+    pairs: Vec<(String, String)>,
+}
+
+impl Labels {
+    /// An empty label set (renders to the bare base name).
+    pub fn new() -> Labels {
+        Labels::default()
+    }
+
+    /// Add or replace one label, keeping keys sorted.
+    pub fn with(mut self, key: &str, value: &str) -> Labels {
+        debug_assert!(
+            !key.contains(['{', '}', ',', '=']) && !value.contains(['{', '}', ',', '=']),
+            "label parts must not contain {{}}=, separators: {key}={value}"
+        );
+        match self.pairs.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.pairs[i].1 = value.to_string(),
+            Err(i) => self.pairs.insert(i, (key.to_string(), value.to_string())),
+        }
+        self
+    }
+
+    /// The sorted `(key, value)` pairs.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.pairs
+    }
+
+    /// Canonical registry name for `base` under these labels:
+    /// `base{k=v,k2=v2}`, or `base` when empty.
+    pub fn render(&self, base: &str) -> String {
+        if self.pairs.is_empty() {
+            return base.to_string();
+        }
+        let body: Vec<String> =
+            self.pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{base}{{{}}}", body.join(","))
+    }
+}
+
+/// Split a canonical registry name back into `(base, labels)`. Names
+/// without a label block parse as `(name, [])`.
+pub fn parse_labeled(name: &str) -> (&str, Vec<(&str, &str)>) {
+    let Some(open) = name.find('{') else {
+        return (name, Vec::new());
+    };
+    let Some(body) = name[open + 1..].strip_suffix('}') else {
+        return (name, Vec::new());
+    };
+    let pairs = body
+        .split(',')
+        .filter_map(|kv| kv.split_once('='))
+        .collect();
+    (&name[..open], pairs)
+}
+
+impl Registry {
+    /// The counter for `name` under `labels`, created on first use. Same
+    /// lock-free hot path as [`Registry::counter`] — the labels only shape
+    /// the registration name.
+    pub fn counter_with(&self, name: &str, labels: &Labels) -> Arc<Counter> {
+        self.counter(&labels.render(name))
+    }
+
+    /// The histogram for `name` under `labels`, created on first use.
+    pub fn histogram_with(&self, name: &str, labels: &Labels) -> Arc<Histogram> {
+        self.histogram(&labels.render(name))
+    }
+}
+
+/// Shorthand: a labeled counter in the global registry.
+pub fn counter_with(name: &str, labels: &Labels) -> Arc<Counter> {
+    global().counter_with(name, labels)
+}
+
+/// Shorthand: a labeled histogram in the global registry.
+pub fn histogram_with(name: &str, labels: &Labels) -> Arc<Histogram> {
+    global().histogram_with(name, labels)
+}
+
+/// Make a metric name safe for Prometheus exposition: `.` and any other
+/// non-`[a-zA-Z0-9_:]` byte becomes `_`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
+}
+
+/// Render one label set as a Prometheus label block (empty string when no
+/// labels).
+fn prom_labels(pairs: &[(&str, &str)], extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render every counter and histogram in `registry` as Prometheus-style
+/// text exposition. Counters become `# TYPE n counter` + one sample per
+/// label set; histograms become the standard `_bucket{le=…}` cumulative
+/// series plus `_sum` and `_count`. Output is sorted by registry name, so
+/// two snapshots of the same state render byte-identically.
+pub fn render_prometheus(registry: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_base = String::new();
+    for (name, value) in registry.counter_snapshot() {
+        let (base, pairs) = parse_labeled(&name);
+        let base = prom_name(base);
+        if base != last_base {
+            out.push_str(&format!("# TYPE {base} counter\n"));
+            last_base = base.clone();
+        }
+        out.push_str(&format!("{base}{} {value}\n", prom_labels(&pairs, None)));
+    }
+    last_base.clear();
+    for (name, snap) in registry.histogram_snapshot() {
+        let (base, pairs) = parse_labeled(&name);
+        let base = prom_name(base);
+        if base != last_base {
+            out.push_str(&format!("# TYPE {base} histogram\n"));
+            last_base = base.clone();
+        }
+        let mut cum = 0u64;
+        for &(le, n) in &snap.buckets {
+            cum += n;
+            out.push_str(&format!(
+                "{base}_bucket{} {cum}\n",
+                prom_labels(&pairs, Some(("le", le.to_string())))
+            ));
+        }
+        out.push_str(&format!(
+            "{base}_bucket{} {cum}\n",
+            prom_labels(&pairs, Some(("le", "+Inf".to_string())))
+        ));
+        out.push_str(&format!("{base}_sum{} {}\n", prom_labels(&pairs, None), snap.sum));
+        out.push_str(&format!("{base}_count{} {}\n", prom_labels(&pairs, None), snap.count));
+    }
+    out
+}
+
+/// Writes the registry as Prometheus text exposition to a file every N
+/// round boundaries (plus a final export on demand). The write is plain
+/// `fs::write` — the file is a monitoring surface, not a result artifact,
+/// so a torn read by a scraper is acceptable and a tmp+rename dance is
+/// not worth the directory churn.
+#[derive(Debug)]
+pub struct SnapshotExporter {
+    path: PathBuf,
+    every: u64,
+    rounds: u64,
+}
+
+impl SnapshotExporter {
+    /// Export to `path` every `every` round boundaries (`every` is clamped
+    /// to ≥ 1).
+    pub fn new(path: impl Into<PathBuf>, every: u64) -> SnapshotExporter {
+        SnapshotExporter { path: path.into(), every: every.max(1), rounds: 0 }
+    }
+
+    /// The export target path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Note one completed round; export when the round count hits the
+    /// period. Returns whether an export happened.
+    pub fn round_boundary(&mut self, registry: &Registry) -> io::Result<bool> {
+        self.rounds += 1;
+        if self.rounds % self.every == 0 {
+            self.export(registry)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Export unconditionally (used for the final flush at campaign end).
+    pub fn export(&self, registry: &Registry) -> io::Result<()> {
+        std::fs::write(&self.path, render_prometheus(registry))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +588,135 @@ mod tests {
         let h = Histogram::new();
         h.record(0);
         assert_eq!(h.snapshot().p99(), 0, "all-zero observations quantile to 0");
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero_for_all_q() {
+        let s = Histogram::new().snapshot();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(s.quantile(q), 0, "empty histogram, q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_with_single_bucket_mass_stays_in_bucket() {
+        // All mass in one bucket: every quantile must land inside that
+        // bucket's [lower, upper] range and never exceed the observed max.
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(700); // [512, 1023] bucket
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let est = s.quantile(q);
+            assert!((512..=1023).contains(&est), "q={q}: {est} escaped the bucket");
+            assert!(est <= s.max, "q={q}: {est} above max {}", s.max);
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_q_outside_unit_interval() {
+        let h = Histogram::new();
+        for v in [10, 20, 40, 80] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(-0.5), s.quantile(0.0), "q<0 clamps to 0");
+        assert_eq!(s.quantile(1.5), s.quantile(1.0), "q>1 clamps to 1");
+        assert_eq!(s.quantile(1.0), s.max, "q=1 is the observed max");
+        assert!(s.quantile(0.0) <= s.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_of_saturated_top_bucket_clamps_to_max() {
+        // u64::MAX lands in the top bucket, whose nominal upper bound
+        // saturates; the estimate must clamp to the observed max rather
+        // than interpolate past it.
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(u64::MAX);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = s.quantile(q);
+            assert!(est <= s.max, "q={q} clamped to max");
+        }
+        assert_eq!(s.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn labels_render_sorted_and_canonical() {
+        let a = Labels::new().with("proto", "tcp").with("tga", "6scan");
+        let b = Labels::new().with("tga", "6scan").with("proto", "tcp");
+        assert_eq!(a.render("probe.hits"), "probe.hits{proto=tcp,tga=6scan}");
+        assert_eq!(a.render("probe.hits"), b.render("probe.hits"), "order-independent");
+        assert_eq!(Labels::new().render("x"), "x", "empty labels render bare");
+        let replaced = a.clone().with("proto", "udp");
+        assert_eq!(replaced.render("h"), "h{proto=udp,tga=6scan}");
+    }
+
+    #[test]
+    fn parse_labeled_round_trips() {
+        let name = Labels::new().with("proto", "tcp").with("tga", "det").render("probe.hits");
+        let (base, pairs) = parse_labeled(&name);
+        assert_eq!(base, "probe.hits");
+        assert_eq!(pairs, vec![("proto", "tcp"), ("tga", "det")]);
+        assert_eq!(parse_labeled("plain"), ("plain", vec![]));
+        assert_eq!(parse_labeled("odd{"), ("odd{", vec![]), "unclosed block left alone");
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct_series() {
+        let r = Registry::new();
+        let tcp = r.counter_with("hits", &Labels::new().with("proto", "tcp"));
+        let udp = r.counter_with("hits", &Labels::new().with("proto", "udp"));
+        tcp.add(3);
+        udp.add(5);
+        let snap = r.counter_snapshot();
+        assert_eq!(snap.get("hits{proto=tcp}"), Some(&3));
+        assert_eq!(snap.get("hits{proto=udp}"), Some(&5));
+        assert!(!snap.contains_key("hits"), "bare series untouched");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_stable_and_labeled() {
+        let r = Registry::new();
+        r.counter_with("probe.hits", &Labels::new().with("proto", "tcp")).add(7);
+        r.counter_with("probe.hits", &Labels::new().with("proto", "udp")).add(2);
+        r.counter("probe.sent").add(9);
+        r.histogram_with("wait.us", &Labels::new().with("proto", "tcp")).record(100);
+        let text = render_prometheus(&r);
+        assert!(text.contains("# TYPE probe_hits counter\n"));
+        assert!(text.contains("probe_hits{proto=\"tcp\"} 7\n"));
+        assert!(text.contains("probe_hits{proto=\"udp\"} 2\n"));
+        assert!(text.contains("probe_sent 9\n"));
+        assert!(text.contains("# TYPE wait_us histogram\n"));
+        assert!(text.contains("wait_us_bucket{proto=\"tcp\",le=\"127\"} 1\n"));
+        assert!(text.contains("wait_us_bucket{proto=\"tcp\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("wait_us_sum{proto=\"tcp\"} 100\n"));
+        assert!(text.contains("wait_us_count{proto=\"tcp\"} 1\n"));
+        assert_eq!(text, render_prometheus(&r), "same state renders byte-identically");
+        let once = text.matches("# TYPE probe_hits counter").count();
+        assert_eq!(once, 1, "one TYPE line per base name");
+    }
+
+    #[test]
+    fn snapshot_exporter_writes_on_period() {
+        let r = Registry::new();
+        r.counter("exp.test").add(1);
+        let path = std::env::temp_dir().join("sos_obs_exporter_test.prom");
+        let _ = std::fs::remove_file(&path);
+        let mut exp = SnapshotExporter::new(&path, 2);
+        assert!(!exp.round_boundary(&r).unwrap(), "round 1: not due");
+        assert!(!path.exists());
+        assert!(exp.round_boundary(&r).unwrap(), "round 2: exports");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("exp_test 1\n"));
+        r.counter("exp.test").add(41);
+        exp.export(&r).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("exp_test 42\n"), "final flush rewrites");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

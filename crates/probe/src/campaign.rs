@@ -27,9 +27,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use netmodel::{PortSet, Protocol, PROTOCOLS};
+use netmodel::{FaultEpochs, PortSet, Protocol, PROTOCOLS};
 use sos_obs::json::Json;
 use sos_obs::manifest::fnv1a64;
+use sos_obs::{Event, JournalWriter, SnapshotExporter};
 
 use crate::engine::{ScanReport, Scanner};
 use crate::ratelimit::{BucketSnapshot, TokenBucket};
@@ -97,6 +98,22 @@ pub struct RunOptions {
     /// invocation* — the test hook that simulates a kill at an exact
     /// checkpoint boundary.
     pub stop_after_rounds: Option<usize>,
+    /// Where to write the live JSONL event journal
+    /// ([`sos_obs::journal`]): round boundaries, checkpoint writes,
+    /// breaker and fault-epoch transitions, and counter snapshots, each
+    /// stamped with the campaign's deterministic virtual clock (the
+    /// shard-invariant `backoff_waited_us + throttled_us` total). A fresh
+    /// run truncates; a resume appends and continues the sequence.
+    /// `None` disables journaling.
+    pub journal_path: Option<PathBuf>,
+    /// Where to write Prometheus-style text snapshots of the global
+    /// metrics registry at round boundaries. `None` disables.
+    pub snapshot_path: Option<PathBuf>,
+    /// Emit a replay-grade counter [`Event::Snapshot`] (and refresh
+    /// `snapshot_path`) every N rounds; `0`/`1` snapshot every round.
+    /// Checkpoint writes always snapshot regardless, so the journal's
+    /// last snapshot matches the on-disk checkpoint after a kill.
+    pub snapshot_every: usize,
 }
 
 /// What [`Campaign::run_with`] produced.
@@ -445,6 +462,128 @@ impl CampaignCheckpoint {
     }
 }
 
+/// The campaign's deterministic virtual clock, in microseconds: the sum
+/// of every protocol's integer backoff and throttle accounting. Both
+/// inputs are shard-summed integers, so the readout is bit-identical
+/// across shard counts (unlike `limited_seconds`, which max-merges across
+/// concurrent shards and is deliberately excluded).
+fn vclock_us(reports: &[(Protocol, ScanReport)]) -> u64 {
+    reports
+        .iter()
+        .map(|(_, r)| r.backoff_waited_us + r.throttled_us)
+        .sum()
+}
+
+/// Cumulative `(hits, packets)` across every protocol report — diffed
+/// around a round to label [`Event::RoundEnd`] with per-round deltas.
+fn hit_packet_totals(reports: &[(Protocol, ScanReport)]) -> (u64, u64) {
+    reports.iter().fold((0, 0), |(h, p), (_, r)| {
+        (h + r.hits.len() as u64, p + r.packets_sent)
+    })
+}
+
+/// Current breaker state names by `(domain, proto)` (empty when breaking
+/// is not configured).
+fn breaker_names<T: Transport>(scanner: &Scanner<T>) -> BTreeMap<(u128, u8), &'static str> {
+    scanner.breaker().map_or_else(BTreeMap::new, |b| {
+        b.entries().into_iter().map(|(key, state)| (key, state.name())).collect()
+    })
+}
+
+/// Current fault-epoch readout by `(domain, proto)` (empty when no fault
+/// layer is active).
+fn fault_epoch_map<T: Transport>(scanner: &Scanner<T>) -> BTreeMap<(u128, u8), FaultEpochs> {
+    let transport = scanner.transport();
+    transport
+        .fault_state()
+        .into_iter()
+        .filter_map(|(domain, proto, density)| {
+            transport.fault_epochs_at(density).map(|e| ((domain, proto), e))
+        })
+        .collect()
+}
+
+/// Round-boundary telemetry state: the journal writer plus the previous
+/// round's breaker/fault readouts, diffed to emit transition events.
+///
+/// Transitions are detected by the **campaign** at round boundaries — the
+/// shard workers never emit events, so the journal's event stream is
+/// deterministic (sorted by `(domain, proto)`) no matter how many shards
+/// raced through the round.
+struct Telemetry {
+    journal: JournalWriter,
+    exporter: Option<SnapshotExporter>,
+    breaker_prev: BTreeMap<(u128, u8), &'static str>,
+    fault_prev: BTreeMap<(u128, u8), FaultEpochs>,
+}
+
+impl Telemetry {
+    /// Breaker + fault-epoch transition events since the previous round
+    /// boundary, in sorted `(domain, proto)` order; updates the baselines.
+    fn transitions<T: Transport>(&mut self, scanner: &Scanner<T>) -> Vec<Event> {
+        let mut events = Vec::new();
+        let breakers = breaker_names(scanner);
+        for (&(domain, proto), &name) in &breakers {
+            // Unseen breakers start life closed; their first appearance
+            // in the closed state is not a transition.
+            let before = self.breaker_prev.get(&(domain, proto)).copied().unwrap_or("closed");
+            if before != name {
+                events.push(Event::Breaker {
+                    domain,
+                    proto,
+                    from: before.to_string(),
+                    to: name.to_string(),
+                });
+            }
+        }
+        self.breaker_prev = breakers;
+        let epochs = fault_epoch_map(scanner);
+        for (&(domain, proto), readout) in &epochs {
+            let before = self
+                .fault_prev
+                .get(&(domain, proto))
+                .copied()
+                .unwrap_or(FaultEpochs { burst: 0, blackhole: 0, throttle: 0 });
+            for ((kind, now), (_, was)) in readout.families().into_iter().zip(before.families()) {
+                if now != was {
+                    events.push(Event::FaultEpoch {
+                        domain,
+                        proto,
+                        kind: kind.to_string(),
+                        epoch: u64::from(now),
+                    });
+                }
+            }
+        }
+        self.fault_prev = epochs;
+        events
+    }
+
+    fn write(&mut self, vclock: u64, event: Event) -> Result<(), String> {
+        self.journal
+            .write(vclock, event)
+            .map_err(|e| format!("write journal {}: {e}", self.journal.path().display()))
+    }
+
+    /// Refresh the Prometheus snapshot file at a round boundary.
+    fn export_boundary(&mut self) -> Result<(), String> {
+        if let Some(ex) = self.exporter.as_mut() {
+            ex.round_boundary(sos_obs::registry())
+                .map_err(|e| format!("write snapshot {}: {e}", ex.path().display()))?;
+        }
+        Ok(())
+    }
+
+    /// Final snapshot flush (unconditional, ignoring the period).
+    fn export_final(&mut self) -> Result<(), String> {
+        if let Some(ex) = self.exporter.as_ref() {
+            ex.export(sos_obs::registry())
+                .map_err(|e| format!("write snapshot {}: {e}", ex.path().display()))?;
+        }
+        Ok(())
+    }
+}
+
 /// A reusable multi-protocol campaign over one scanner.
 pub struct Campaign<'a, T: Transport> {
     scanner: &'a mut Scanner<T>,
@@ -623,6 +762,52 @@ impl<'a, T: Transport + Clone + Send> Campaign<'a, T> {
         let mut rounds_this_run = 0usize;
         let mut completed = true;
 
+        let snapshot_every = opts.snapshot_every.max(1);
+        let mut telemetry = match &opts.journal_path {
+            None => None,
+            Some(path) => {
+                let journal = if resume.is_some() {
+                    JournalWriter::append(path)
+                } else {
+                    JournalWriter::create(path)
+                }
+                .map_err(|e| format!("open journal {}: {e}", path.display()))?;
+                let exporter = opts
+                    .snapshot_path
+                    .as_ref()
+                    .map(|p| SnapshotExporter::new(p, snapshot_every as u64));
+                let mut tele = Telemetry {
+                    journal,
+                    exporter,
+                    // Seed the diff baselines from the current (possibly
+                    // just-restored) state, so a resume never re-emits
+                    // transitions the original run already journaled.
+                    breaker_prev: breaker_names(self.scanner),
+                    fault_prev: fault_epoch_map(self.scanner),
+                };
+                let opening = match resume {
+                    Some(ckpt) => Event::Resume {
+                        fingerprint,
+                        done: ckpt.done as u64,
+                        rounds: ckpt.rounds as u64,
+                    },
+                    None => Event::CampaignStart {
+                        fingerprint,
+                        targets: prepared.len() as u64,
+                        protocols: self
+                            .protocols
+                            .iter()
+                            .map(|p| p.label().to_string())
+                            .collect(),
+                        shards: shards as u64,
+                        round_size: round_size as u64,
+                    },
+                };
+                tele.write(vclock_us(&reports), opening)?;
+                Some(tele)
+            }
+        };
+
         while done < prepared.len() {
             let cancelled = opts
                 .cancel
@@ -637,6 +822,17 @@ impl<'a, T: Transport + Clone + Send> Campaign<'a, T> {
                 break;
             }
             let end = (done + round_size).min(prepared.len());
+            if let Some(tele) = telemetry.as_mut() {
+                tele.write(
+                    vclock_us(&reports),
+                    Event::RoundStart {
+                        round: (rounds + 1) as u64,
+                        from: done as u64,
+                        to: end as u64,
+                    },
+                )?;
+            }
+            let (hits_before, packets_before) = hit_packet_totals(&reports);
             // done <= end <= prepared.len(): end is clamped above, done
             // only ever advances to a previous end.
             let slice: Vec<(u32, Ipv6Addr)> = prepared[done..end]
@@ -652,11 +848,60 @@ impl<'a, T: Transport + Clone + Send> Campaign<'a, T> {
             done = end;
             rounds += 1;
             rounds_this_run += 1;
+            if let Some(tele) = telemetry.as_mut() {
+                let vclock = vclock_us(&reports);
+                // Breaker / fault-epoch transitions are diffed here, at
+                // the round boundary, in sorted (domain, proto) order —
+                // never from shard threads — so the event stream is
+                // identical for every shard count.
+                for event in tele.transitions(self.scanner) {
+                    tele.write(vclock, event)?;
+                }
+                let (hits_now, packets_now) = hit_packet_totals(&reports);
+                tele.write(
+                    vclock,
+                    Event::RoundEnd {
+                        round: rounds as u64,
+                        done: done as u64,
+                        total: prepared.len() as u64,
+                        hits: hits_now - hits_before,
+                        packets: packets_now - packets_before,
+                    },
+                )?;
+            }
+            let mut checkpointed = false;
             if let Some(path) = &opts.checkpoint_path {
                 let ckpt = self.checkpoint(fingerprint, done, rounds, &reports);
                 ckpt.save(path).map_err(|e| {
                     format!("write checkpoint {}: {e}", path.display())
                 })?;
+                checkpointed = true;
+                if let Some(tele) = telemetry.as_mut() {
+                    tele.write(
+                        vclock_us(&reports),
+                        Event::CheckpointWrite {
+                            fingerprint,
+                            done: done as u64,
+                            rounds: rounds as u64,
+                        },
+                    )?;
+                }
+            }
+            if let Some(tele) = telemetry.as_mut() {
+                // Checkpoints always pair with a snapshot: after a kill,
+                // the journal's last snapshot must mirror the on-disk
+                // checkpoint exactly.
+                if checkpointed || rounds % snapshot_every == 0 {
+                    tele.write(
+                        vclock_us(&reports),
+                        Event::Snapshot {
+                            fingerprint,
+                            done: done as u64,
+                            counters: self.scanner.metrics().counters(),
+                        },
+                    )?;
+                }
+                tele.export_boundary()?;
             }
         }
 
@@ -665,7 +910,38 @@ impl<'a, T: Transport + Clone + Send> Campaign<'a, T> {
                 let ckpt = self.checkpoint(fingerprint, done, rounds, &reports);
                 ckpt.save(path)
                     .map_err(|e| format!("write checkpoint {}: {e}", path.display()))?;
+                if let Some(tele) = telemetry.as_mut() {
+                    tele.write(
+                        vclock_us(&reports),
+                        Event::CheckpointWrite {
+                            fingerprint,
+                            done: done as u64,
+                            rounds: rounds as u64,
+                        },
+                    )?;
+                }
             }
+        }
+
+        if let Some(tele) = telemetry.as_mut() {
+            let vclock = vclock_us(&reports);
+            tele.write(
+                vclock,
+                Event::Snapshot {
+                    fingerprint,
+                    done: done as u64,
+                    counters: self.scanner.metrics().counters(),
+                },
+            )?;
+            tele.write(
+                vclock,
+                Event::CampaignEnd {
+                    completed,
+                    rounds: rounds as u64,
+                    resumed_targets: resumed_targets as u64,
+                },
+            )?;
+            tele.export_final()?;
         }
 
         let mut result = CampaignResult::default();

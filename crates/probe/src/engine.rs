@@ -405,6 +405,9 @@ fn scan_shard<T: Transport>(
     metrics.drop_malformed.add(malformed);
     metrics.drop_validation.add(invalid);
     metrics.hits.add(hits.len() as u64);
+    // Per-protocol labeled series: one flush per shard, never per packet.
+    metrics.proto_packets(proto).add(report.packets_sent);
+    metrics.proto_hits(proto).add(hits.len() as u64);
     metrics.rsts.add(report.rsts as u64);
     metrics.unreachables.add(report.unreachables as u64);
     metrics.silent.add(report.silent as u64);
@@ -647,6 +650,10 @@ impl<T: Transport> Scanner<T> {
         report.faults_injected = self.transport.faults_injected() - start_faults;
         report.throttled_us = self.transport.throttled_us() - start_throttled;
         report.breaker_opened = self.breaker.as_ref().map_or(0, |b| b.opened()) - start_opened;
+        // Per-protocol labeled series, flushed once per scan like the
+        // sharded path flushes once per shard — totals stay bit-identical.
+        self.metrics.proto_packets(proto).add(report.packets_sent);
+        self.metrics.proto_hits(proto).add(report.hits.len() as u64);
         sos_obs::debug!(
             "scan {proto:?}: {} probed, {} hits, {} rst, {} unreach, {} silent, \
              {} skipped, {} pkts, {:.3}s limited",

@@ -10,8 +10,70 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use netmodel::{Protocol, PROTOCOLS};
 use sos_obs::metrics::HistogramSnapshot;
-use sos_obs::{Counter, Histogram, Registry};
+use sos_obs::{Counter, Histogram, Labels, Registry};
+
+/// Canonical metric-name table for the probe crate.
+///
+/// Every counter/histogram registration in this crate goes through these
+/// constants — the `obs-metric-names` sos-lint rule rejects bare string
+/// literals at `counter(...)`/`histogram(...)` call sites, so renames
+/// happen in exactly one place and the manifest/journal/exporter surfaces
+/// can never drift apart.
+pub mod names {
+    /// Probe packets transmitted, incl. retries.
+    pub const PACKETS_SENT: &str = "probe.packets_sent";
+    /// Retransmission attempts after the first.
+    pub const RETRIES: &str = "probe.retries";
+    /// §4.1 positive responses.
+    pub const HITS: &str = "probe.hits";
+    /// TCP RST responders (not hits).
+    pub const RSTS: &str = "probe.rsts";
+    /// ICMP Destination Unreachable responders (not hits).
+    pub const UNREACHABLES: &str = "probe.unreachables";
+    /// Targets that never answered.
+    pub const SILENT: &str = "probe.silent";
+    /// Targets skipped by deduplication.
+    pub const DROP_DUPLICATE: &str = "probe.drop.duplicate";
+    /// Targets skipped by the blocklist.
+    pub const DROP_BLOCKLIST: &str = "probe.drop.blocklist";
+    /// Responses failing token validation.
+    pub const DROP_VALIDATION: &str = "probe.drop.validation";
+    /// Responses that failed to parse.
+    pub const DROP_MALFORMED: &str = "probe.drop.malformed";
+    /// Rate-limiter acquires that had to wait for a token.
+    pub const RATELIMIT_STALLS: &str = "probe.ratelimit.stalls";
+    /// Histogram of each stall's wait in virtual µs.
+    pub const RATELIMIT_WAIT_US: &str = "probe.ratelimit.wait_us";
+    /// Probes eaten by the hostile-network fault layer.
+    pub const FAULTS_INJECTED: &str = "probe.faults_injected";
+    /// Circuit breakers that tripped open.
+    pub const BREAKER_OPENED: &str = "probe.breaker.opened";
+    /// Targets skipped by open breakers.
+    pub const BREAKER_SKIPPED: &str = "probe.breaker.skipped";
+    /// Virtual µs spent in retry backoff.
+    pub const BACKOFF_WAITED_US: &str = "probe.backoff.waited_us";
+    /// Targets restored as done by a checkpoint resume.
+    pub const RESUMED_TARGETS: &str = "probe.resumed_targets";
+    /// Label key for the per-protocol series of [`HITS`]/[`PACKETS_SENT`].
+    pub const PROTO_LABEL: &str = "proto";
+}
+
+/// The `proto=` label value for one protocol (lowercased wire label).
+pub(crate) fn proto_label(proto: Protocol) -> &'static str {
+    match proto {
+        Protocol::Icmp => "icmp",
+        Protocol::Tcp80 => "tcp80",
+        Protocol::Tcp443 => "tcp443",
+        Protocol::Udp53 => "udp53",
+    }
+}
+
+/// Canonical labeled series name (`base{proto=icmp}`) for one protocol.
+fn labeled_name(base: &str, proto: Protocol) -> String {
+    Labels::new().with(names::PROTO_LABEL, proto_label(proto)).render(base)
+}
 
 /// A counter recorded locally and mirrored globally.
 #[derive(Debug, Clone)]
@@ -40,13 +102,16 @@ impl Mirrored {
 
 /// Per-scanner engine event accounting, mirrored into the global registry.
 ///
-/// Counter names (all also visible in `--manifest` output):
+/// Counter names (all also visible in `--manifest` output; the string
+/// literals live in [`names`], nowhere else):
 ///
 /// | name | meaning |
 /// |---|---|
 /// | `probe.packets_sent` | probe packets transmitted, incl. retries |
+/// | `probe.packets_sent{proto=…}` | the same, one labeled series per protocol (`icmp`, `tcp80`, `tcp443`, `udp53`) |
 /// | `probe.retries` | retransmission attempts after the first |
 /// | `probe.hits` / `probe.rsts` / `probe.unreachables` / `probe.silent` | §4.1 classification outcomes |
+/// | `probe.hits{proto=…}` | hits, one labeled series per protocol |
 /// | `probe.drop.duplicate` | targets skipped by deduplication |
 /// | `probe.drop.blocklist` | targets skipped by the blocklist |
 /// | `probe.drop.validation` | responses failing token validation |
@@ -59,6 +124,11 @@ impl Mirrored {
 /// | `probe.resumed_targets` | targets restored as done by a checkpoint resume |
 ///
 /// Histogram `probe.ratelimit.wait_us` records each stall's wait in µs.
+///
+/// The labeled series are flushed once per scan/shard (never per packet),
+/// so the hot loop stays two relaxed adds. They cover the scan paths
+/// (`scan`, `scan_parallel*`, campaign rounds); bare `probe_target` calls
+/// (dealiasing probes) count only in the flat totals.
 #[derive(Debug)]
 pub struct EngineMetrics {
     registry: Registry,
@@ -78,6 +148,10 @@ pub struct EngineMetrics {
     pub(crate) breaker_skipped: Mirrored,
     pub(crate) backoff_waited_us: Mirrored,
     pub(crate) resumed_targets: Mirrored,
+    /// `probe.hits{proto=…}`, indexed by [`Protocol::index`].
+    hits_proto: [(String, Mirrored); 4],
+    /// `probe.packets_sent{proto=…}`, indexed by [`Protocol::index`].
+    packets_proto: [(String, Mirrored); 4],
     pub(crate) wait_us_local: Arc<Histogram>,
     pub(crate) wait_us_global: Arc<Histogram>,
 }
@@ -93,49 +167,77 @@ impl EngineMetrics {
     pub fn new() -> EngineMetrics {
         let registry = Registry::new();
         let c = |name: &str| Mirrored::new(&registry, name);
+        let labeled = |base: &str| {
+            std::array::from_fn(|i| {
+                // i < 4 == PROTOCOLS.len(): from_fn over [T; 4]
+                let name = labeled_name(base, PROTOCOLS[i]);
+                let counter = Mirrored::new(&registry, &name);
+                (name, counter)
+            })
+        };
         EngineMetrics {
-            packets_sent: c("probe.packets_sent"),
-            retries: c("probe.retries"),
-            hits: c("probe.hits"),
-            rsts: c("probe.rsts"),
-            unreachables: c("probe.unreachables"),
-            silent: c("probe.silent"),
-            drop_duplicate: c("probe.drop.duplicate"),
-            drop_blocklist: c("probe.drop.blocklist"),
-            drop_validation: c("probe.drop.validation"),
-            drop_malformed: c("probe.drop.malformed"),
-            ratelimit_stalls: c("probe.ratelimit.stalls"),
-            faults_injected: c("probe.faults_injected"),
-            breaker_opened: c("probe.breaker.opened"),
-            breaker_skipped: c("probe.breaker.skipped"),
-            backoff_waited_us: c("probe.backoff.waited_us"),
-            resumed_targets: c("probe.resumed_targets"),
-            wait_us_local: registry.histogram("probe.ratelimit.wait_us"),
-            wait_us_global: sos_obs::histogram("probe.ratelimit.wait_us"),
+            packets_sent: c(names::PACKETS_SENT),
+            retries: c(names::RETRIES),
+            hits: c(names::HITS),
+            rsts: c(names::RSTS),
+            unreachables: c(names::UNREACHABLES),
+            silent: c(names::SILENT),
+            drop_duplicate: c(names::DROP_DUPLICATE),
+            drop_blocklist: c(names::DROP_BLOCKLIST),
+            drop_validation: c(names::DROP_VALIDATION),
+            drop_malformed: c(names::DROP_MALFORMED),
+            ratelimit_stalls: c(names::RATELIMIT_STALLS),
+            faults_injected: c(names::FAULTS_INJECTED),
+            breaker_opened: c(names::BREAKER_OPENED),
+            breaker_skipped: c(names::BREAKER_SKIPPED),
+            backoff_waited_us: c(names::BACKOFF_WAITED_US),
+            resumed_targets: c(names::RESUMED_TARGETS),
+            hits_proto: labeled(names::HITS),
+            packets_proto: labeled(names::PACKETS_SENT),
+            wait_us_local: registry.histogram(names::RATELIMIT_WAIT_US),
+            wait_us_global: sos_obs::histogram(names::RATELIMIT_WAIT_US),
             registry,
         }
     }
 
+    /// The `probe.hits{proto=…}` series for one protocol.
+    pub(crate) fn proto_hits(&self, proto: Protocol) -> &Mirrored {
+        // Protocol::index() < 4: asserted by netmodel's protocol tests
+        &self.hits_proto[proto.index()].1
+    }
+
+    /// The `probe.packets_sent{proto=…}` series for one protocol.
+    pub(crate) fn proto_packets(&self, proto: Protocol) -> &Mirrored {
+        // Protocol::index() < 4: asserted by netmodel's protocol tests
+        &self.packets_proto[proto.index()].1
+    }
+
     /// Every mirrored counter, by manifest name (checkpoint restore path).
-    fn mirrored(&self) -> [(&'static str, &Mirrored); 16] {
-        [
-            ("probe.packets_sent", &self.packets_sent),
-            ("probe.retries", &self.retries),
-            ("probe.hits", &self.hits),
-            ("probe.rsts", &self.rsts),
-            ("probe.unreachables", &self.unreachables),
-            ("probe.silent", &self.silent),
-            ("probe.drop.duplicate", &self.drop_duplicate),
-            ("probe.drop.blocklist", &self.drop_blocklist),
-            ("probe.drop.validation", &self.drop_validation),
-            ("probe.drop.malformed", &self.drop_malformed),
-            ("probe.ratelimit.stalls", &self.ratelimit_stalls),
-            ("probe.faults_injected", &self.faults_injected),
-            ("probe.breaker.opened", &self.breaker_opened),
-            ("probe.breaker.skipped", &self.breaker_skipped),
-            ("probe.backoff.waited_us", &self.backoff_waited_us),
-            ("probe.resumed_targets", &self.resumed_targets),
-        ]
+    /// Labeled series names are built at registration, so the list is
+    /// allocated — callers iterate it once per restore, never per packet.
+    fn mirrored(&self) -> Vec<(String, &Mirrored)> {
+        let mut out: Vec<(String, &Mirrored)> = vec![
+            (names::PACKETS_SENT.to_string(), &self.packets_sent),
+            (names::RETRIES.to_string(), &self.retries),
+            (names::HITS.to_string(), &self.hits),
+            (names::RSTS.to_string(), &self.rsts),
+            (names::UNREACHABLES.to_string(), &self.unreachables),
+            (names::SILENT.to_string(), &self.silent),
+            (names::DROP_DUPLICATE.to_string(), &self.drop_duplicate),
+            (names::DROP_BLOCKLIST.to_string(), &self.drop_blocklist),
+            (names::DROP_VALIDATION.to_string(), &self.drop_validation),
+            (names::DROP_MALFORMED.to_string(), &self.drop_malformed),
+            (names::RATELIMIT_STALLS.to_string(), &self.ratelimit_stalls),
+            (names::FAULTS_INJECTED.to_string(), &self.faults_injected),
+            (names::BREAKER_OPENED.to_string(), &self.breaker_opened),
+            (names::BREAKER_SKIPPED.to_string(), &self.breaker_skipped),
+            (names::BACKOFF_WAITED_US.to_string(), &self.backoff_waited_us),
+            (names::RESUMED_TARGETS.to_string(), &self.resumed_targets),
+        ];
+        for (name, counter) in self.hits_proto.iter().chain(&self.packets_proto) {
+            out.push((name.clone(), counter));
+        }
+        out
     }
 
     /// Raise counters to at least the checkpointed values (resume path:
@@ -145,8 +247,8 @@ impl EngineMetrics {
     pub(crate) fn restore_counters(&self, snapshot: &BTreeMap<String, u64>) {
         let current = self.counters();
         for (name, counter) in self.mirrored() {
-            let want = snapshot.get(name).copied().unwrap_or(0);
-            let have = current.get(name).copied().unwrap_or(0);
+            let want = snapshot.get(&name).copied().unwrap_or(0);
+            let have = current.get(&name).copied().unwrap_or(0);
             if want > have {
                 counter.add(want - have);
             }
@@ -182,11 +284,11 @@ mod tests {
 
     #[test]
     fn local_and_global_both_advance() {
-        let before = sos_obs::counter("probe.packets_sent").get();
+        let before = sos_obs::counter(names::PACKETS_SENT).get();
         let m = EngineMetrics::new();
         m.packets_sent.add(5);
-        assert_eq!(m.counter("probe.packets_sent"), 5);
-        assert!(sos_obs::counter("probe.packets_sent").get() >= before + 5);
+        assert_eq!(m.counter(names::PACKETS_SENT), 5);
+        assert!(sos_obs::counter(names::PACKETS_SENT).get() >= before + 5);
     }
 
     #[test]
@@ -194,8 +296,8 @@ mod tests {
         let a = EngineMetrics::new();
         let b = EngineMetrics::new();
         a.hits.inc();
-        assert_eq!(a.counter("probe.hits"), 1);
-        assert_eq!(b.counter("probe.hits"), 0, "locals do not share state");
+        assert_eq!(a.counter(names::HITS), 1);
+        assert_eq!(b.counter(names::HITS), 0, "locals do not share state");
     }
 
     #[test]
@@ -203,9 +305,31 @@ mod tests {
         let m = EngineMetrics::new();
         m.stall(0.002);
         m.stall(0.001);
-        assert_eq!(m.counter("probe.ratelimit.stalls"), 2);
+        assert_eq!(m.counter(names::RATELIMIT_STALLS), 2);
         let h = m.wait_histogram();
         assert_eq!(h.count, 2);
         assert_eq!(h.sum, 3_000, "2 ms + 1 ms in µs");
+    }
+
+    #[test]
+    fn labeled_series_are_per_protocol_and_restorable() {
+        let m = EngineMetrics::new();
+        m.proto_hits(Protocol::Icmp).add(3);
+        m.proto_packets(Protocol::Tcp443).add(7);
+        assert_eq!(m.counter("probe.hits{proto=icmp}"), 3);
+        assert_eq!(m.counter("probe.packets_sent{proto=tcp443}"), 7);
+        assert_eq!(m.counter("probe.hits{proto=udp53}"), 0);
+        // restore_counters covers labeled names too (resume path)
+        let fresh = EngineMetrics::new();
+        fresh.restore_counters(&m.counters());
+        assert_eq!(fresh.counter("probe.hits{proto=icmp}"), 3);
+        assert_eq!(fresh.counter("probe.packets_sent{proto=tcp443}"), 7);
+    }
+
+    #[test]
+    fn proto_labels_match_wire_labels_lowercased() {
+        for proto in PROTOCOLS {
+            assert_eq!(proto_label(proto), proto.label().to_lowercase());
+        }
     }
 }

@@ -208,6 +208,16 @@ impl BreakerState {
             _ => BreakerState::Closed { failures: count },
         }
     }
+
+    /// Stable state name for telemetry (journal breaker events and the
+    /// `seedscan watch` breaker map).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed { .. } => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
 }
 
 /// What [`BreakerMap::admit`] decided for a target.

@@ -360,6 +360,11 @@ impl Transport for SimTransport {
             self.density.insert((domain, proto), n);
         }
     }
+
+    fn fault_epochs_at(&self, density: u32) -> Option<netmodel::FaultEpochs> {
+        let plan = self.world.faults();
+        plan.active().then(|| plan.epochs_at(density))
+    }
 }
 
 /// Quick sanity: next-header constants referenced by the parser must match

@@ -200,6 +200,15 @@ pub trait Transport {
 
     /// Restore counters captured by [`Transport::fault_state`].
     fn restore_fault_state(&mut self, _state: &[(u128, u8, u32)]) {}
+
+    /// Map one fault domain's probe density onto the fault layer's epoch
+    /// readout (burst/blackhole/throttle epoch indices at that density),
+    /// when a fault layer is active. Campaign telemetry diffs this across
+    /// round boundaries to journal fault-epoch transitions; the readout is
+    /// pure (no state is advanced) and never feeds back into scanning.
+    fn fault_epochs_at(&self, _density: u32) -> Option<netmodel::FaultEpochs> {
+        None
+    }
 }
 
 /// Outcome of one [`Transport::probe_burst`]: the per-target verdict plus

@@ -171,6 +171,18 @@ pub fn build(id: TgaId) -> Box<dyn TargetGenerator> {
     Box::new(Instrumented { inner })
 }
 
+/// Central metric-name table for this crate (`obs-metric-names` policy:
+/// registry names are consts, never inline literals, so the journal,
+/// manifest, and dashboards can never drift from the code).
+pub mod names {
+    /// Addresses generated, summed over every TGA.
+    pub const GENERATED_ADDRS: &str = "tga.generated_addrs";
+    /// Oracle probe packets spent during generation.
+    pub const GEN_PACKETS: &str = "tga.gen_packets";
+    /// Generation throughput histogram, addresses per second.
+    pub const ADDRS_PER_SEC: &str = "tga.addrs_per_sec";
+}
+
 /// Transparent observability wrapper around any generator: every
 /// `generate` call runs inside a `generate` span and reports throughput
 /// (`tga.generated_addrs`, per-TGA counters, and the
@@ -200,12 +212,12 @@ impl TargetGenerator for Instrumented {
         let out = self.inner.generate(seeds, cfg, oracle);
         let dur_s = sos_obs::now_s() - start;
         let gen_packets = oracle.packets_sent() - packets_before;
-        sos_obs::counter("tga.generated_addrs").add(out.len() as u64);
+        sos_obs::counter(names::GENERATED_ADDRS).add(out.len() as u64);
         sos_obs::counter(&format!("tga.{label}.generated_addrs")).add(out.len() as u64);
-        sos_obs::counter("tga.gen_packets").add(gen_packets);
+        sos_obs::counter(names::GEN_PACKETS).add(gen_packets);
         if dur_s > 0.0 {
             let rate = (out.len() as f64 / dur_s) as u64;
-            sos_obs::histogram("tga.addrs_per_sec").record(rate);
+            sos_obs::histogram(names::ADDRS_PER_SEC).record(rate);
             sos_obs::debug!(
                 "{label}: {} addrs in {dur_s:.3}s ({rate} addrs/s), {gen_packets} online pkts",
                 out.len(),
