@@ -128,6 +128,25 @@ pub fn suite(cfg: &PerfConfig) -> Vec<(String, Box<dyn FnMut() + '_>)> {
         ));
     }
 
+    // Provenance-tagging overhead: the same 6Tree generation workload as
+    // `gen/6tree`, but with a recording log attached. The pair's delta is
+    // the full cost of carrying per-candidate provenance through
+    // generation (acceptance: ≤3% of the untagged median).
+    {
+        let seeds = seeds.clone();
+        benches.push((
+            "gen/provenance_overhead".to_string(),
+            Box::new(move || {
+                let id = TgaId::SixTree;
+                let mut oracle = bench_study().scanner(0x9e0f ^ id as u64);
+                let gen_cfg = GenConfig::new(budget, 0xBE7C ^ id as u64, Protocol::Icmp);
+                let mut prov = sos_probe::provenance::ProvenanceLog::recording(id.code());
+                let out = tga::build(id).generate_tagged(&seeds, &gen_cfg, &mut oracle, &mut prov);
+                assert_eq!(prov.len(), out.len());
+            }),
+        ));
+    }
+
     // Probe-engine throughput over a live/dead/aliased target mix. One
     // shared workload for the sequential wire path and the sharded
     // pipeline, so the `scan_parallel_*` medians read directly as speedup
@@ -189,9 +208,42 @@ pub fn suite(cfg: &PerfConfig) -> Vec<(String, Box<dyn FnMut() + '_>)> {
                     journal_path: journal.then(|| base.with_extension("jsonl")),
                     snapshot_path: journal.then(|| base.with_extension("prom")),
                     snapshot_every: 1,
+                    provenance: None,
                 };
                 let run = campaign.run_with(&targets, &opts, None).expect("campaign runs");
                 assert!(run.completed);
+            }),
+        ));
+    }
+
+    // Attribution overhead: the `probe/campaign_8` workload with every
+    // target provenance-tagged, so the per-shard attribution tables and
+    // their order-invariant merge are on the clock (acceptance: ≤3% over
+    // the untagged campaign median).
+    {
+        let targets = targets.clone();
+        let round = if cfg.quick { 128 } else { 1024 };
+        benches.push((
+            "probe/campaign_attributed_8".to_string(),
+            Box::new(move || {
+                let mut scanner = bench_study().scanner(0x5ca9);
+                let mut campaign = sos_probe::Campaign::new(&mut scanner, vec![Protocol::Icmp]);
+                let prov = sos_probe::provenance::ProvenanceLog::for_targets(&targets);
+                let opts = sos_probe::RunOptions {
+                    shards: 8,
+                    checkpoint_every: round,
+                    checkpoint_path: None,
+                    cancel: None,
+                    stop_after_rounds: None,
+                    journal_path: None,
+                    snapshot_path: None,
+                    snapshot_every: 1,
+                    provenance: Some(std::sync::Arc::new(prov)),
+                };
+                let run = campaign.run_with(&targets, &opts, None).expect("campaign runs");
+                assert!(run.completed);
+                let table = sos_probe::merged_attribution(&run.result.reports);
+                assert!(!table.is_empty());
             }),
         ));
     }
@@ -503,7 +555,7 @@ mod tests {
     #[test]
     fn suite_names_are_stable_and_prefixed() {
         let names = bench_names(&PerfConfig::quick());
-        assert!(names.len() >= 17, "8 TGAs + 6 probe + 2 dealias + 2 trie");
+        assert!(names.len() >= 19, "9 gen + 7 probe + 2 dealias + 2 trie");
         for shards in [1, 4, 8] {
             assert!(names.contains(&format!("probe/scan_parallel_{shards}")));
         }
@@ -511,6 +563,10 @@ mod tests {
         // second with the journal + snapshot writers armed.
         assert!(names.contains(&"probe/campaign_8".to_string()));
         assert!(names.contains(&"probe/campaign_journal_8".to_string()));
+        // The provenance-overhead pairs: tagged vs. untagged generation,
+        // attributed vs. plain campaign.
+        assert!(names.contains(&"gen/provenance_overhead".to_string()));
+        assert!(names.contains(&"probe/campaign_attributed_8".to_string()));
         for n in &names {
             assert!(
                 n.starts_with("gen/")

@@ -7,6 +7,7 @@
 //!          [--stop-after N] [--journal FILE] [--snapshot-every N]
 //!          [--manifest FILE] [--trace FILE] [--flame FILE]
 //! seedscan watch <journal> [--replay] [--interval-ms N] [--max-idle-polls N]
+//! seedscan explain <manifest|journal> [--json] [--top N]
 //!
 //! experiments:
 //!   summary      Table 3 + Table 8 (dataset composition)
@@ -46,7 +47,19 @@
 //! `seedscan watch <journal>` tails that file from another terminal and
 //! renders a live status table; `--replay` folds a finished (or torn)
 //! journal once and prints the final state plus the exact reconstructed
-//! counter totals, which match the live run's manifest bit-for-bit.
+//! counter totals, which match the live run's manifest bit-for-bit. A
+//! torn journal (no `campaign_end` record — the writer was killed)
+//! replays as `[truncated]`, never as "running".
+//!
+//! Discovery attribution: a campaign tags every target with its /32
+//! region, so the manifest records which parts of the address space the
+//! probes, hits, and aliases landed in (`campaign.attribution`), hits
+//! resolved against the world's ground truth by addressing scheme and
+//! origin AS, and a per-/32 coverage map against the modeled host
+//! density. `seedscan explain <manifest|journal>` renders all of it as
+//! ranked tables plus a text address-space heatmap (`--json` for the
+//! machine-readable form), and cross-checks the attribution sums against
+//! the campaign's own scan counters.
 //!
 //! Observability: progress and milestones go to stderr at the level
 //! selected by `SOS_LOG` (default `info` here; `debug` adds span-level
@@ -197,6 +210,7 @@ fn usage() {
          \u{20}                [--journal FILE] [--snapshot-every N]\n\
          \u{20}                [--manifest FILE] [--trace FILE] [--flame FILE]\n\
          \u{20}      seedscan watch <journal> [--replay] [--interval-ms N] [--max-idle-polls N]\n\
+         \u{20}      seedscan explain <manifest|journal> [--json] [--top N]\n\
          experiments: summary overlap rq1 rq2 rq3 rq4 appendix-d raw recommend as-kind budget-sweep export campaign all\n\
          fault presets: off bursty ratelimited blackholes throttled hostile\n\
          env: SOS_LOG=off|error|warn|info|debug|trace (stderr verbosity, default info)"
@@ -278,12 +292,65 @@ fn run_watch(rest: Vec<String>) -> ExitCode {
     }
 }
 
+/// `seedscan explain <manifest|journal> [--json] [--top N]`
+///
+/// Auto-detects the artifact kind: a run manifest (one JSON document)
+/// yields the full attribution view — ranked regions, per-scheme and
+/// per-AS hit tables, waste histograms, coverage heatmap; a telemetry
+/// journal yields the folded per-source discovery totals plus the exact
+/// counter snapshot. `--json` emits the same content machine-readably.
+fn run_explain(rest: Vec<String>) -> ExitCode {
+    let mut artifact: Option<String> = None;
+    let mut json = false;
+    let mut top: usize = 15;
+    let mut it = rest.into_iter();
+    let parse_err = loop {
+        let Some(a) = it.next() else { break None };
+        match a.as_str() {
+            "--json" => json = true,
+            "--top" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => top = v,
+                None => break Some("--top needs an integer value".to_string()),
+            },
+            other if artifact.is_none() && !other.starts_with('-') => {
+                artifact = Some(other.to_string())
+            }
+            other => break Some(format!("unexpected explain argument: {other}")),
+        }
+    };
+    let artifact = match (parse_err, artifact) {
+        (Some(e), _) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+        (None, None) => {
+            eprintln!("error: explain needs a manifest or journal path");
+            usage();
+            return ExitCode::FAILURE;
+        }
+        (None, Some(p)) => p,
+    };
+    match sos_core::explain::explain(std::path::Path::new(&artifact), json, top.max(1)) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     sos_obs::log::init_from_env_or(sos_obs::Level::Info);
     {
         let mut raw = std::env::args().skip(1);
-        if raw.next().as_deref() == Some("watch") {
-            return run_watch(raw.collect());
+        match raw.next().as_deref() {
+            Some("watch") => return run_watch(raw.collect()),
+            Some("explain") => return run_explain(raw.collect()),
+            _ => {}
         }
     }
     let args = match parse_args() {
@@ -521,6 +588,10 @@ fn main() -> ExitCode {
         let mut scanner = Scanner::new(scan_cfg, SimTransport::new(study.world().clone()));
         let mut campaign = Campaign::standard(&mut scanner);
         let targets = study.pipeline().full.clone();
+        // Tag every target with its /32 region so the run carries full
+        // discovery attribution (pure observer: results stay bit-identical
+        // to an untagged run).
+        let provenance = std::sync::Arc::new(sos_probe::provenance::ProvenanceLog::for_targets(&targets));
         let opts = RunOptions {
             shards: study.config().scan_shards,
             checkpoint_every: args.checkpoint_every.unwrap_or(0),
@@ -534,6 +605,7 @@ fn main() -> ExitCode {
                 .as_ref()
                 .map(|p| std::path::PathBuf::from(p).with_extension("prom")),
             snapshot_every: args.snapshot_every.unwrap_or(1),
+            provenance: Some(provenance),
         };
         let outcome = match campaign.run_with(&targets, &opts, resume.as_ref()) {
             Ok(o) => o,
@@ -571,12 +643,71 @@ fn main() -> ExitCode {
             "responsive on >=1 protocol: {}",
             outcome.result.responsive_count()
         ));
+
+        // Discovery attribution: the campaign-wide table, ground-truth hit
+        // resolution, and per-/32 coverage — recorded in the manifest for
+        // `seedscan explain` and summarized inline.
+        let attribution = sos_probe::merged_attribution(&outcome.result.reports);
+        let (probed, hits, packets) = outcome.result.reports.iter().fold(
+            (0u64, 0u64, 0u64),
+            |(p, h, k), (_, r)| (p + r.probed as u64, h + r.hits.len() as u64, k + r.packets_sent),
+        );
+        let all_hits: Vec<std::net::Ipv6Addr> = {
+            let mut v: Vec<std::net::Ipv6Addr> = outcome
+                .result
+                .reports
+                .iter()
+                .flat_map(|(_, r)| r.hits.iter().copied())
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let hit_attr = sos_probe::provenance::attribute_hits(study.world(), &all_hits);
+        let coverage = sos_core::coverage::CoverageMap::build(study.world(), &targets, &all_hits);
+        let (a_probes, a_hits, _) = attribution.totals();
+        text.push_str(&format!(
+            "\nattribution: {} region(s), {a_hits} hits / {a_probes} probes ({} wasted), \
+             {} scheme(s), {} AS(es); coverage {} /32 cell(s), {} missed, {} blind",
+            attribution.len(),
+            attribution.wasted(),
+            hit_attr.by_scheme.len(),
+            hit_attr.by_as.len(),
+            coverage.len(),
+            coverage.missed_cells(),
+            coverage.blind_cells(),
+        ));
         emit("campaign", text);
         {
+            use sos_obs::json::Json;
             let mut m = manifest.borrow_mut();
             for (name, value) in scanner.metrics().counters() {
                 m.set(&format!("campaign.{name}"), value);
             }
+            m.set(sos_core::names::ATTRIBUTION, attribution.to_json());
+            let mut totals = Json::obj();
+            totals.set("probed", probed);
+            totals.set("hits", hits);
+            totals.set(
+                "aliases",
+                {
+                    let (_, _, aliases) = attribution.totals();
+                    aliases
+                },
+            );
+            totals.set("packets", packets);
+            m.set(sos_core::names::TOTALS, totals);
+            let mut schemes = Json::obj();
+            for (label, n) in &hit_attr.by_scheme {
+                schemes.set(label, *n);
+            }
+            m.set(sos_core::names::SCHEME_HITS, schemes);
+            let mut ases = Json::obj();
+            for (asn, n) in &hit_attr.by_as {
+                ases.set(&asn.to_string(), *n);
+            }
+            m.set(sos_core::names::AS_HITS, ases);
+            m.set(sos_core::names::COVERAGE, coverage.to_json());
         }
     }
     if run("rq3") {

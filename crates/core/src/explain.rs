@@ -1,0 +1,487 @@
+//! `seedscan explain` — post-hoc discovery attribution from a run's
+//! artifacts.
+//!
+//! Takes either artifact a campaign leaves behind and renders where the
+//! discoveries came from:
+//!
+//! - a **manifest** (one JSON document, `--manifest FILE`): full
+//!   attribution — ranked regions, per-scheme and per-AS hit tables,
+//!   per-source waste histograms, and the address-space coverage heatmap,
+//!   all reconstructed from the `campaign.*` entries the run recorded;
+//! - a **journal** (JSON lines, `--journal FILE`): the fold
+//!   [`crate::watch`] maintains, summarized once — per-source discovery
+//!   totals plus the exact counter snapshot.
+//!
+//! The attribution table's sums are checked against the campaign's own
+//! scan counters and the verdict is printed: `explain` is only trustworthy
+//! because that invariant holds for faulted, sharded, and
+//! killed-and-resumed runs alike (see `crates/core/tests/explain_campaign.rs`).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use sos_obs::json::Json;
+use sos_probe::provenance::{AttributionTable, SOURCE_TARGETS};
+
+use crate::coverage::CoverageMap;
+use crate::watch::WatchState;
+
+/// Parsed form of the artifact handed to `seedscan explain`.
+pub enum ExplainInput {
+    /// A run manifest: one JSON document.
+    Manifest(Json),
+    /// A telemetry journal: folded record stream. Boxed — `WatchState` is an
+    /// order of magnitude larger than the manifest handle.
+    Journal(Box<WatchState>),
+}
+
+/// Load `path`, auto-detecting manifest (single JSON document) vs journal
+/// (JSON lines). A journal line also parses as a JSON object, so the
+/// discriminator is whole-file parseability: manifests are exactly one
+/// document, journals are many.
+pub fn load(path: &Path) -> Result<ExplainInput, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let trimmed = text.trim();
+    if trimmed.starts_with('{') && trimmed.lines().count() > 1 {
+        if let Ok(doc) = Json::parse(trimmed) {
+            return Ok(ExplainInput::Manifest(doc));
+        }
+    }
+    let state = crate::watch::replay(path).map_err(|e| format!("replaying {}: {e}", path.display()))?;
+    if state.records == 0 {
+        return Err(format!("{}: neither a manifest nor a journal", path.display()));
+    }
+    Ok(ExplainInput::Journal(Box::new(state)))
+}
+
+/// Human label for a provenance source byte.
+pub fn source_label(source: u8) -> String {
+    if source == SOURCE_TARGETS {
+        "targets".to_string()
+    } else {
+        tga::TgaId::from_code(source).map_or_else(|| format!("source-{source}"), |t| t.label().to_string())
+    }
+}
+
+fn bar(value: u64, max: u64, width: usize) -> String {
+    let filled = if max == 0 { 0 } else { (value as usize * width).div_ceil(max as usize).min(width) };
+    "#".repeat(filled)
+}
+
+/// Everything `explain` reconstructs from a manifest.
+pub struct ManifestExplain {
+    /// The run's attribution table.
+    pub attribution: AttributionTable,
+    /// Campaign scan totals as the run recorded them: (probed, hits,
+    /// aliases, packets). `None` for manifests without a campaign.
+    pub scan_totals: Option<(u64, u64, u64, u64)>,
+    /// Hits per addressing scheme label.
+    pub scheme_hits: Vec<(String, u64)>,
+    /// Hits per origin AS.
+    pub as_hits: Vec<(u32, u64)>,
+    /// Per-/32 coverage.
+    pub coverage: CoverageMap,
+}
+
+impl ManifestExplain {
+    /// Pull the `campaign.*` entries out of a manifest document.
+    pub fn from_manifest(doc: &Json) -> Result<ManifestExplain, String> {
+        let attribution = match doc.get(crate::names::ATTRIBUTION) {
+            Some(rows) => AttributionTable::from_json(rows)?,
+            None => AttributionTable::new(),
+        };
+        let scan_totals = doc.get(crate::names::TOTALS).map(|t| {
+            let u = |k: &str| t.get(k).and_then(Json::as_u64).unwrap_or(0);
+            (u("probed"), u("hits"), u("aliases"), u("packets"))
+        });
+        let pairs = |key: &str| -> Vec<(String, u64)> {
+            doc.get(key)
+                .and_then(Json::entries)
+                .map(|entries| {
+                    entries
+                        .iter()
+                        .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let as_hits = pairs(crate::names::AS_HITS)
+            .into_iter()
+            .filter_map(|(k, n)| k.parse::<u32>().ok().map(|asn| (asn, n)))
+            .collect();
+        let coverage = match doc.get(crate::names::COVERAGE) {
+            Some(rows) => CoverageMap::from_json(rows)?,
+            None => CoverageMap::default(),
+        };
+        Ok(ManifestExplain {
+            attribution,
+            scan_totals,
+            scheme_hits: pairs(crate::names::SCHEME_HITS),
+            as_hits,
+            coverage,
+        })
+    }
+
+    /// Does the attribution table's probe/hit sum equal the campaign's
+    /// own scan counters? `None` when the manifest has no totals entry.
+    pub fn integrity(&self) -> Option<bool> {
+        let (probed, hits, _, _) = self.scan_totals?;
+        let (p, h, _) = self.attribution.totals();
+        Some(p == probed && h == hits)
+    }
+
+    /// Render the ranked tables.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        let (probes, hits, aliases) = self.attribution.totals();
+        let _ = writeln!(
+            out,
+            "discovery attribution: {hits} hits / {probes} probes / {aliases} aliased, {} region(s), {} wasted",
+            self.attribution.len(),
+            self.attribution.wasted(),
+        );
+        match self.integrity() {
+            Some(true) => {
+                let _ = writeln!(out, "integrity: attribution sums MATCH the campaign scan counters");
+            }
+            Some(false) => {
+                let (p, h, _, _) = self.scan_totals.unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "integrity: MISMATCH — campaign counters say {h} hits / {p} probes"
+                );
+            }
+            None => {
+                let _ = writeln!(out, "integrity: no campaign totals recorded (not a campaign manifest?)");
+            }
+        }
+
+        if !self.attribution.is_empty() {
+            let _ = writeln!(out, "\ntop regions by hits:");
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>10} {:>8} {:>8} {:>8} {:>8}  {:>8} {:>5}",
+                "source", "region", "probes", "hits", "aliases", "wasted", "digest", "round"
+            );
+            for (source, region, tally) in self.attribution.top_by_hits(top) {
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:>10} {:>8} {:>8} {:>8} {:>8}  {:>08x} {:>5}",
+                    source_label(source),
+                    if region == u32::MAX { "fill".to_string() } else { format!("{region:#010x}") },
+                    tally.probes,
+                    tally.hits,
+                    tally.aliases,
+                    tally.wasted(),
+                    tally.seed_digest,
+                    tally.first_round,
+                );
+            }
+        }
+
+        if !self.scheme_hits.is_empty() {
+            let total: u64 = self.scheme_hits.iter().map(|&(_, n)| n).sum();
+            let _ = writeln!(out, "\nhits by addressing scheme:");
+            let mut rows = self.scheme_hits.clone();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            for (scheme, n) in rows {
+                let share = if total == 0 { 0.0 } else { 100.0 * n as f64 / total as f64 };
+                let rate = if probes == 0 { 0.0 } else { n as f64 / probes as f64 };
+                let _ = writeln!(
+                    out,
+                    "  {scheme:<12} {n:>8} ({share:>5.1}% of hits, hit rate {rate:.5})"
+                );
+            }
+        }
+
+        if !self.as_hits.is_empty() {
+            let _ = writeln!(out, "\nhits by origin AS (top {top}):");
+            let mut rows = self.as_hits.clone();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            for (asn, n) in rows.into_iter().take(top) {
+                let _ = writeln!(out, "  AS{asn:<10} {n:>8}");
+            }
+        }
+
+        // Per-source waste histogram: how much of each source's probe
+        // mass found nothing.
+        let mut by_source: std::collections::BTreeMap<u8, (u64, u64, u64)> = Default::default();
+        for (source, _region, tally) in self.attribution.rows() {
+            let e = by_source.entry(source).or_default();
+            e.0 += 1;
+            e.1 += tally.probes;
+            e.2 += tally.wasted();
+        }
+        if !by_source.is_empty() {
+            let max_waste = by_source.values().map(|&(_, _, w)| w).max().unwrap_or(0);
+            let _ = writeln!(out, "\nwasted probes per source:");
+            for (source, (regions, probes, wasted)) in by_source {
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:>4} region(s) {:>8}/{:<8} wasted |{:<20}|",
+                    source_label(source),
+                    regions,
+                    wasted,
+                    probes,
+                    bar(wasted, max_waste, 20),
+                );
+            }
+        }
+
+        if !self.coverage.is_empty() {
+            let (g, h, t) = self.coverage.totals();
+            let _ = writeln!(
+                out,
+                "\ncoverage: {} /32 cell(s), {g} generated / {h} hit / {t} truth, {} missed, {} blind",
+                self.coverage.len(),
+                self.coverage.missed_cells(),
+                self.coverage.blind_cells(),
+            );
+            out.push_str(&self.coverage.heatmap(48));
+        }
+        out
+    }
+
+    /// The same content as [`Self::render`], machine-readable.
+    pub fn to_json(&self) -> Json {
+        let (probes, hits, aliases) = self.attribution.totals();
+        let mut doc = Json::obj();
+        let mut totals = Json::obj();
+        totals.set("probes", probes);
+        totals.set("hits", hits);
+        totals.set("aliases", aliases);
+        totals.set("wasted", self.attribution.wasted());
+        totals.set("regions", self.attribution.len() as u64);
+        doc.set("totals", totals);
+        match self.integrity() {
+            Some(ok) => doc.set("integrity", ok),
+            None => doc.set("integrity", Json::Null),
+        };
+        doc.set("attribution", self.attribution.to_json());
+        let mut schemes = Json::obj();
+        for (scheme, n) in &self.scheme_hits {
+            schemes.set(scheme, *n);
+        }
+        doc.set("scheme_hits", schemes);
+        let mut ases = Json::obj();
+        for (asn, n) in &self.as_hits {
+            ases.set(&asn.to_string(), *n);
+        }
+        doc.set("as_hits", ases);
+        let mut cov = Json::obj();
+        let (g, h, t) = self.coverage.totals();
+        cov.set("cells", self.coverage.len() as u64);
+        cov.set("generated", g);
+        cov.set("hits", h);
+        cov.set("truth", t);
+        cov.set("missed_cells", self.coverage.missed_cells() as u64);
+        cov.set("blind_cells", self.coverage.blind_cells() as u64);
+        cov.set("rows", self.coverage.to_json());
+        doc.set("coverage", cov);
+        doc
+    }
+}
+
+/// Render a folded journal's discovery view.
+pub fn render_journal(state: &WatchState, _top: usize) -> String {
+    let mut out = state.render();
+    if !state.discovery.is_empty() {
+        let _ = writeln!(out, "discovery by source:");
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "source", "regions", "probes", "hits", "aliases", "wasted"
+        );
+        for (&source, &(regions, probes, hits, aliases, wasted)) in &state.discovery {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                source_label(source as u8),
+                regions,
+                probes,
+                hits,
+                aliases,
+                wasted,
+            );
+        }
+    }
+    out.push_str("exact counters (last snapshot):\n");
+    out.push_str(&state.render_counters());
+    out
+}
+
+/// Machine-readable journal summary.
+pub fn journal_to_json(state: &WatchState) -> Json {
+    let mut doc = Json::obj();
+    doc.set(
+        "status",
+        if state.truncated {
+            "truncated"
+        } else {
+            match state.completed {
+                None => "running",
+                Some(true) => "completed",
+                Some(false) => "stopped",
+            }
+        },
+    );
+    doc.set("done", state.done);
+    doc.set("targets", state.targets);
+    doc.set("rounds", state.rounds);
+    doc.set("hits", state.hits);
+    doc.set("packets", state.packets);
+    let mut discovery = Json::obj();
+    for (&source, &(regions, probes, hits, aliases, wasted)) in &state.discovery {
+        let mut row = Json::obj();
+        row.set("regions", regions);
+        row.set("probes", probes);
+        row.set("hits", hits);
+        row.set("aliases", aliases);
+        row.set("wasted", wasted);
+        discovery.set(&source_label(source as u8), row);
+    }
+    doc.set("discovery", discovery);
+    let mut counters = Json::obj();
+    for (name, value) in &state.counters {
+        counters.set(name, *value);
+    }
+    doc.set("counters", counters);
+    doc
+}
+
+/// Full driver: load `path` and produce the rendered (or `--json`) text.
+pub fn explain(path: &Path, json: bool, top: usize) -> Result<String, String> {
+    match load(path)? {
+        ExplainInput::Manifest(doc) => {
+            let ex = ManifestExplain::from_manifest(&doc)?;
+            Ok(if json { ex.to_json().to_string_pretty() + "\n" } else { ex.render(top) })
+        }
+        ExplainInput::Journal(state) => Ok(if json {
+            journal_to_json(&state).to_string_pretty() + "\n"
+        } else {
+            render_journal(&state, top)
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sos_probe::provenance::Provenance;
+
+    fn sample_manifest() -> Json {
+        let mut table = AttributionTable::new();
+        let p = |region| Provenance { source: 2, region, seed_digest: 0xbeef, round: 1 };
+        for _ in 0..10 {
+            table.record_probe(p(7));
+        }
+        for _ in 0..4 {
+            table.record_hit(p(7));
+        }
+        table.record_probe(p(9));
+        table.note_alias(p(9));
+        let mut doc = Json::obj();
+        doc.set("tool", "seedscan");
+        doc.set("campaign.attribution", table.to_json());
+        let mut totals = Json::obj();
+        totals.set("probed", 11u64);
+        totals.set("hits", 4u64);
+        totals.set("aliases", 1u64);
+        totals.set("packets", 40u64);
+        doc.set("campaign.totals", totals);
+        let mut schemes = Json::obj();
+        schemes.set("low-byte", 3u64);
+        schemes.set("eui64", 1u64);
+        doc.set("campaign.scheme_hits", schemes);
+        let mut ases = Json::obj();
+        ases.set("64500", 4u64);
+        doc.set("campaign.as_hits", ases);
+        doc
+    }
+
+    #[test]
+    fn manifest_explain_reconstructs_and_verifies_totals() {
+        let ex = ManifestExplain::from_manifest(&sample_manifest()).unwrap();
+        assert_eq!(ex.attribution.totals(), (11, 4, 1));
+        assert_eq!(ex.integrity(), Some(true));
+        let text = ex.render(10);
+        assert!(text.contains("4 hits / 11 probes"), "{text}");
+        assert!(text.contains("MATCH"), "{text}");
+        assert!(text.contains("6Tree"), "source 2 labels as 6Tree: {text}");
+        assert!(text.contains("low-byte"), "{text}");
+        assert!(text.contains("AS64500"), "{text}");
+        assert!(text.contains("wasted probes per source"), "{text}");
+    }
+
+    #[test]
+    fn manifest_explain_flags_counter_mismatch() {
+        let mut doc = sample_manifest();
+        let mut totals = Json::obj();
+        totals.set("probed", 999u64);
+        totals.set("hits", 4u64);
+        doc.set("campaign.totals", totals);
+        let ex = ManifestExplain::from_manifest(&doc).unwrap();
+        assert_eq!(ex.integrity(), Some(false));
+        assert!(ex.render(5).contains("MISMATCH"));
+    }
+
+    #[test]
+    fn explain_json_mode_round_trips_the_table() {
+        let ex = ManifestExplain::from_manifest(&sample_manifest()).unwrap();
+        let doc = ex.to_json();
+        assert_eq!(doc.get("integrity"), Some(&Json::Bool(true)));
+        let back = AttributionTable::from_json(doc.get("attribution").unwrap()).unwrap();
+        assert_eq!(back, ex.attribution);
+        assert_eq!(
+            doc.get("totals").and_then(|t| t.get("hits")),
+            Some(&Json::U64(4))
+        );
+    }
+
+    #[test]
+    fn load_detects_manifest_vs_journal() {
+        let dir = std::env::temp_dir();
+        let mpath = dir.join("sos_explain_detect_manifest.json");
+        std::fs::write(&mpath, sample_manifest().to_string_pretty() + "\n").unwrap();
+        assert!(matches!(load(&mpath), Ok(ExplainInput::Manifest(_))));
+
+        let jpath = dir.join("sos_explain_detect_journal.jsonl");
+        {
+            let mut w = sos_obs::JournalWriter::create(&jpath).unwrap();
+            w.write(
+                0,
+                sos_obs::Event::Discovery {
+                    source: 255,
+                    regions: 2,
+                    probes: 10,
+                    hits: 3,
+                    aliases: 0,
+                    wasted: 7,
+                },
+            )
+            .unwrap();
+        }
+        match load(&jpath) {
+            Ok(ExplainInput::Journal(state)) => {
+                assert!(state.truncated, "no campaign_end record");
+                assert_eq!(state.discovery.get(&255), Some(&(2, 10, 3, 0, 7)));
+                let text = render_journal(&state, 5);
+                assert!(text.contains("targets"), "{text}");
+                let j = journal_to_json(&state);
+                assert_eq!(j.get("status"), Some(&Json::Str("truncated".into())));
+            }
+            other => panic!("journal misdetected: {:?}", other.is_ok()),
+        }
+        let _ = std::fs::remove_file(&mpath);
+        let _ = std::fs::remove_file(&jpath);
+    }
+
+    #[test]
+    fn unreadable_input_is_an_error() {
+        assert!(load(Path::new("/nonexistent/sos_explain.json")).is_err());
+        let p = std::env::temp_dir().join("sos_explain_garbage.txt");
+        std::fs::write(&p, "not json at all\n").unwrap();
+        assert!(load(&p).is_err());
+        let _ = std::fs::remove_file(&p);
+    }
+}

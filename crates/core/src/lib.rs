@@ -23,9 +23,12 @@
 
 pub mod chart;
 pub mod config;
+pub mod coverage;
 pub mod experiments;
+pub mod explain;
 pub mod export;
 pub mod metrics;
+pub mod names;
 pub mod par;
 pub mod report;
 pub mod runner;

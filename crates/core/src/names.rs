@@ -1,0 +1,24 @@
+//! Central name table for discovery-observability manifest keys.
+//!
+//! `seedscan --experiment campaign` writes these keys and
+//! [`crate::explain`] reads them back; routing both through one const
+//! table is what lets `seedscan explain` promise exact reproduction of
+//! the campaign's counters. The `obs-provenance-labels` lint keeps every
+//! provenance/coverage key in the workspace pointed here — an inline
+//! `"campaign.attribution"` elsewhere is a drift bug waiting to happen.
+
+/// The campaign's merged per-region attribution table
+/// ([`sos_probe::AttributionTable::to_json`] rows).
+pub const ATTRIBUTION: &str = "campaign.attribution";
+
+/// Top-level scan totals: `{probed, hits, aliases, packets}`.
+pub const TOTALS: &str = "campaign.totals";
+
+/// Ground-truth hits per addressing scheme label.
+pub const SCHEME_HITS: &str = "campaign.scheme_hits";
+
+/// Ground-truth hits per origin AS (ASN keys as strings).
+pub const AS_HITS: &str = "campaign.as_hits";
+
+/// Per-/32 coverage rows ([`crate::coverage::CoverageMap::to_json`]).
+pub const COVERAGE: &str = "campaign.coverage";

@@ -4,6 +4,7 @@ use std::collections::BTreeSet;
 use std::net::Ipv6Addr;
 
 use netmodel::{Asn, Protocol};
+use sos_probe::provenance::{AttributionTable, ProvenanceLog};
 use tga::{GenConfig, TgaId};
 
 use crate::metrics::RunMetrics;
@@ -22,6 +23,11 @@ pub struct RunResult {
     pub clean_hits: Vec<Ipv6Addr>,
     /// Their origin ASes.
     pub ases: BTreeSet<Asn>,
+    /// Per-region discovery attribution: which internal generator regions
+    /// produced the probes, hits, and aliases (always recorded; the tags
+    /// observe generation without altering the candidate stream — see the
+    /// tga crate's `provenance_identity` test).
+    pub attribution: AttributionTable,
 }
 
 /// Run `tga` with `budget` over `seed_list`, adapting to `proto` (online
@@ -42,10 +48,11 @@ pub fn run_tga(
     let mut generator = tga::build(id);
     let mut oracle = study.scanner(salt ^ 0x9e0);
     let cfg = GenConfig::new(budget, study.config().gen_seed ^ salt, proto);
-    let generated = generator.generate(seed_list, &cfg, &mut oracle);
+    let mut prov = ProvenanceLog::recording(id.code());
+    let generated = generator.generate_tagged(seed_list, &cfg, &mut oracle, &mut prov);
     let gen_packets = sos_probe::ScanOracle::packets_sent(&oracle);
 
-    let mut eval = study.evaluate(&generated, proto, salt ^ 0xe7a1);
+    let mut eval = study.evaluate_tagged(&generated, proto, salt ^ 0xe7a1, &prov);
     eval.metrics.probe_packets += gen_packets;
     RunResult {
         tga: id,
@@ -53,6 +60,7 @@ pub fn run_tga(
         metrics: eval.metrics,
         clean_hits: eval.clean_hits,
         ases: eval.ases,
+        attribution: eval.attribution.unwrap_or_default(),
     }
 }
 

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use dealias::{JointDealiaser, OfflineDealiaser, OnlineConfig, OnlineDealiaser};
 use netmodel::{Asn, Protocol, World};
 use seeds::{collect_all, SeedCollection, SeedPipeline};
+use sos_probe::provenance::{AttributionTable, Provenance, ProvenanceLog};
 use sos_probe::{RetryPolicy, Scanner, ScannerConfig, SimTransport};
 
 use crate::config::StudyConfig;
@@ -53,6 +54,11 @@ pub struct EvalOutcome {
     pub clean_hits: Vec<Ipv6Addr>,
     /// Their origin ASes.
     pub ases: BTreeSet<Asn>,
+    /// Per-region discovery attribution (`Some` only when the candidates
+    /// were evaluated through [`Study::evaluate_tagged`] with a recording
+    /// provenance log). Probes/hits are scan-level; aliases are folded in
+    /// post-dealias.
+    pub attribution: Option<AttributionTable>,
 }
 
 /// One fully prepared study: world + seeds + preprocessed datasets.
@@ -149,11 +155,31 @@ impl Study {
     /// responsive set (§4.2), and filter the megapattern AS from ICMP
     /// results (§4.1's AS12322 filter).
     pub fn evaluate(&self, generated: &[Ipv6Addr], proto: Protocol, salt: u64) -> EvalOutcome {
+        self.evaluate_tagged(generated, proto, salt, &ProvenanceLog::disabled())
+    }
+
+    /// [`evaluate`](Study::evaluate), plus discovery attribution: when
+    /// `prov` is a recording log aligned with `generated` (one tag per
+    /// candidate, as produced by `generate_tagged`), the outcome carries
+    /// an [`AttributionTable`] whose probe/hit sums equal the scan's
+    /// top-level counters, with dealiaser-removed addresses folded in as
+    /// per-region alias counts. A disabled log takes the identical scan
+    /// path and yields `attribution: None` — candidate classification is
+    /// bit-identical either way.
+    pub fn evaluate_tagged(
+        &self,
+        generated: &[Ipv6Addr],
+        proto: Protocol,
+        salt: u64,
+        prov: &ProvenanceLog,
+    ) -> EvalOutcome {
         let mut scanner = self.scanner(salt);
         let shards = self.cfg.scan_shards.max(1);
         let report = {
             let _s = sos_obs::span_detail("scan", format!("proto={proto:?} targets={}", generated.len()));
-            if shards > 1 {
+            if prov.is_enabled() {
+                scanner.scan_parallel_attributed(generated.iter().copied(), proto, shards, prov)
+            } else if shards > 1 {
                 // Sharded pipeline: bit-identical to the sequential scan
                 // (see the probe crate's parallel_scan tests), faster.
                 scanner.scan_parallel(generated.iter().copied(), proto, shards)
@@ -185,6 +211,25 @@ impl Study {
         }
 
         let ases: BTreeSet<Asn> = clean_hits.iter().filter_map(|&a| self.world.asn_of(a)).collect();
+        let attribution = if prov.is_enabled() {
+            let mut table = report.attribution.clone();
+            // Fold dealiaser-removed addresses back into the per-region
+            // table. First occurrence wins, matching the scanner's dedup
+            // of repeated targets.
+            let mut tag_of: std::collections::HashMap<Ipv6Addr, Provenance> =
+                std::collections::HashMap::with_capacity(generated.len());
+            for (i, &a) in generated.iter().enumerate() {
+                tag_of.entry(a).or_insert_with(|| prov.get_or_fill(i));
+            }
+            for &a in &outcome.aliased {
+                if let Some(&p) = tag_of.get(&a) {
+                    table.note_alias(p);
+                }
+            }
+            Some(table)
+        } else {
+            None
+        };
         EvalOutcome {
             metrics: RunMetrics {
                 hits: clean_hits.len(),
@@ -195,6 +240,7 @@ impl Study {
             },
             clean_hits,
             ases,
+            attribution,
         }
     }
 }

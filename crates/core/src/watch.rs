@@ -72,6 +72,14 @@ pub struct WatchState {
     pub last_wall_s: f64,
     /// Set once a `campaign_end` record arrives.
     pub completed: Option<bool>,
+    /// Set by [`replay`] when the journal ends without a `campaign_end`
+    /// record — a torn tail from a killed writer, not a live campaign.
+    pub truncated: bool,
+    /// Per provenance source: (regions, probes, hits, aliases, wasted)
+    /// from `discovery` records. Values are cumulative snapshots, so the
+    /// fold keeps the field-wise maximum (resume-safe: a resumed journal
+    /// can re-emit earlier totals).
+    pub discovery: BTreeMap<u64, (u64, u64, u64, u64, u64)>,
     /// Records folded so far.
     pub records: u64,
 }
@@ -127,6 +135,14 @@ impl WatchState {
                 self.snapshot_fingerprint = Some(*fingerprint);
                 self.snapshot_done = *done;
                 self.counters = counters.clone();
+            }
+            Event::Discovery { source, regions, probes, hits, aliases, wasted } => {
+                let slot = self.discovery.entry(*source).or_default();
+                slot.0 = slot.0.max(*regions);
+                slot.1 = slot.1.max(*probes);
+                slot.2 = slot.2.max(*hits);
+                slot.3 = slot.3.max(*aliases);
+                slot.4 = slot.4.max(*wasted);
             }
             Event::CampaignEnd { completed, rounds, .. } => {
                 self.completed = Some(*completed);
@@ -197,10 +213,13 @@ impl WatchState {
         let fp = self
             .fingerprint
             .map_or_else(|| "????????????????".to_string(), |f| format!("{f:016x}"));
-        let status = match self.completed {
-            None => "running",
-            Some(true) => "completed",
-            Some(false) => "stopped",
+        let status = match (self.completed, self.truncated) {
+            // A torn tail: the journal simply stops — the writer was
+            // killed. Claiming "running" here would be a lie.
+            (None, true) => "truncated",
+            (None, false) => "running",
+            (Some(true), _) => "completed",
+            (Some(false), _) => "stopped",
         };
         let pct = if self.targets > 0 {
             100.0 * self.done as f64 / self.targets as f64
@@ -247,11 +266,23 @@ impl WatchState {
                 .collect();
             out.push_str(&format!("  faults     {}\n", parts.join("; ")));
         }
+        if !self.discovery.is_empty() {
+            let (mut probes, mut hits, mut wasted) = (0u64, 0u64, 0u64);
+            for &(_, p, h, _, w) in self.discovery.values() {
+                probes += p;
+                hits += h;
+                wasted += w;
+            }
+            out.push_str(&format!(
+                "  discovery  {} source(s): {hits} hits / {probes} probes attributed, {wasted} wasted\n",
+                self.discovery.len(),
+            ));
+        }
         out.push_str(&format!(
             "  journal    {} record(s), {} checkpoint(s), {} resume(s)\n",
             self.records, self.checkpoints, self.resumes,
         ));
-        if self.completed.is_none() {
+        if self.completed.is_none() && !self.truncated {
             out.push_str(&format!("  eta        {:.1}s\n", self.eta_seconds()));
         }
         out
@@ -282,6 +313,9 @@ pub fn replay(path: &Path) -> io::Result<WatchState> {
     for rec in &records {
         state.apply(rec);
     }
+    // Replay reads the whole file: no `campaign_end` means the writer
+    // died mid-run, not that the campaign is live.
+    state.truncated = state.completed.is_none();
     Ok(state)
 }
 
@@ -493,6 +527,48 @@ mod tests {
         assert_eq!(live.done, replayed.done);
         assert!(String::from_utf8(sink).unwrap().contains("completed"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replaying_a_torn_journal_reports_truncated_not_running() {
+        let path = std::env::temp_dir().join("sos_core_watch_torn.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = sos_obs::JournalWriter::create(&path).unwrap();
+            // killed mid-run: everything but the campaign_end record
+            for r in sample_run().into_iter().take(10) {
+                w.write(r.vclock_us, r.event).unwrap();
+            }
+        }
+        let st = replay(&path).unwrap();
+        assert!(st.truncated);
+        assert_eq!(st.completed, None);
+        let table = st.render();
+        assert!(table.contains("[truncated]"), "got:\n{table}");
+        assert!(!table.contains("running"), "torn tail must not claim live");
+        assert!(!table.contains("eta"), "no ETA for a dead writer");
+        // the partial summary is still there
+        assert!(table.contains("40/40"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn discovery_records_fold_with_resume_safe_max_merge() {
+        let mut st = WatchState::new();
+        let d = |probes, hits| Event::Discovery {
+            source: 2,
+            regions: 3,
+            probes,
+            hits,
+            aliases: 1,
+            wasted: probes - hits,
+        };
+        st.apply(&rec(0, 0, 1.0, d(100, 10)));
+        // a resume re-emits an earlier cumulative snapshot: must not regress
+        st.apply(&rec(1, 5, 2.0, d(60, 6)));
+        st.apply(&rec(2, 9, 3.0, d(140, 15)));
+        assert_eq!(st.discovery.get(&2), Some(&(3, 140, 15, 1, 125)));
+        assert!(st.render().contains("discovery  1 source(s): 15 hits / 140 probes"));
     }
 
     #[test]

@@ -91,6 +91,11 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "counter/histogram registered under an inline string literal drifts from the central name tables; route names through a `names` const module so manifests, snapshots, and dashboards stay in sync",
     },
     RuleInfo {
+        id: "obs-provenance-labels",
+        group: "observability",
+        rationale: "provenance/coverage manifest keys written as inline string literals drift from the central `names` table that `seedscan explain` reads back; use the consts in sos_core::names",
+    },
+    RuleInfo {
         id: "suppression-reason",
         group: "meta",
         rationale: "every `sos-lint: allow(...)` must carry a written reason; undocumented exceptions rot",
@@ -140,6 +145,12 @@ pub struct Config {
     /// documents names in prose) — everywhere else, metric names must be
     /// consts from a central `names` table, not inline literals.
     pub metric_table_files: Vec<String>,
+    /// Workspace-relative path substrings exempt from
+    /// `obs-provenance-labels`: the central name tables where the
+    /// provenance/coverage manifest keys are *defined*. Everywhere else
+    /// the keys must be those consts, so the writer (`seedscan`) and the
+    /// reader (`explain`) cannot drift.
+    pub provenance_table_files: Vec<String>,
 }
 
 impl Default for Config {
@@ -170,6 +181,12 @@ impl Default for Config {
             .map(String::from)
             .to_vec(),
             metric_table_files: vec!["crates/obs/src/".to_string()],
+            provenance_table_files: vec![
+                "crates/core/src/names.rs".to_string(),
+                "crates/obs/src/".to_string(),
+                // the rule's own namespace table lives here
+                "crates/lint/src/rules.rs".to_string(),
+            ],
         }
     }
 }
@@ -328,6 +345,10 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     // --- observability ---------------------------------------------------
     if prod_code && !cfg.metric_table_files.iter().any(|f| rel_path.contains(f.as_str())) {
         metric_name_rule(toks, &mut push);
+    }
+
+    if prod_code && !cfg.provenance_table_files.iter().any(|f| rel_path.contains(f.as_str())) {
+        provenance_label_rule(toks, &lines, &mut push);
     }
 
     // --- meta: suppressions without reasons ------------------------------
@@ -562,6 +583,47 @@ fn metric_name_rule(toks: &[Tok], push: &mut impl FnMut(&'static str, u32, Strin
                 format!(
                     "`{}(\"…\")` with an inline name literal; use a const from the central `names` table",
                     t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `obs-provenance-labels`: flag a provenance/coverage manifest key
+/// spelled as an inline string literal. The lexer drops literal contents,
+/// so a `Str` token marks the line and the raw source text supplies the
+/// key: any quoted string opening with one of the reserved namespaces
+/// fires. Dynamic names (`format!`) open with the same quote, so they
+/// fire too — by design: these keys are a fixed contract between the
+/// manifest writer and `seedscan explain`, never computed.
+fn provenance_label_rule(
+    toks: &[Tok],
+    lines: &[&str],
+    push: &mut impl FnMut(&'static str, u32, String),
+) {
+    const NAMESPACES: &[&str] = &[
+        "\"campaign.attribution",
+        "\"campaign.totals",
+        "\"campaign.scheme_hits",
+        "\"campaign.as_hits",
+        "\"campaign.coverage",
+        "\"provenance.",
+        "\"coverage.",
+    ];
+    let mut last_flagged_line = 0u32;
+    for t in toks {
+        if t.kind != TokKind::Str || t.line == last_flagged_line {
+            continue;
+        }
+        let text = lines.get(t.line.saturating_sub(1) as usize).copied().unwrap_or("");
+        if let Some(ns) = NAMESPACES.iter().find(|ns| text.contains(*ns)) {
+            last_flagged_line = t.line;
+            push(
+                "obs-provenance-labels",
+                t.line,
+                format!(
+                    "`{}…` as an inline literal; use the const from the central `names` table (sos_core::names) so the manifest writer and `explain` stay in sync",
+                    &ns[1..]
                 ),
             );
         }
@@ -815,6 +877,28 @@ mod tests {
         let in_tests = "#[cfg(test)]\nmod tests { fn t() { sos_obs::counter(\"x\").inc(); } }";
         assert!(find("crates/probe/src/engine.rs", in_tests).is_empty());
         assert!(find("crates/obs/src/metrics.rs", lit).is_empty());
+    }
+
+    #[test]
+    fn provenance_label_literals_flagged_outside_the_name_tables() {
+        let lit = "fn f(m: &mut Manifest, rows: Json) { m.set(\"campaign.attribution\", rows); }";
+        let fs = find("crates/core/src/bin/seedscan.rs", lit);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "obs-provenance-labels");
+        // Reading the key back with an inline literal is the same drift.
+        let read = "fn g(doc: &Json) -> Option<&Json> { doc.get(\"campaign.coverage\") }";
+        assert_eq!(find("crates/core/src/explain.rs", read).len(), 1);
+        // The const-table form is the sanctioned shape.
+        let named = "fn f(m: &mut Manifest, rows: Json) { m.set(sos_core::names::ATTRIBUTION, rows); }";
+        assert!(find("crates/core/src/bin/seedscan.rs", named).is_empty());
+        // The name table itself defines the literals.
+        assert!(find("crates/core/src/names.rs", lit).is_empty());
+        // Mentioning the key in a comment is prose, not a finding.
+        let prose = "// the manifest's campaign.attribution entry\nfn h() {}";
+        assert!(find("crates/core/src/explain.rs", prose).is_empty());
+        // Tests may spell keys out.
+        let in_tests = "#[cfg(test)]\nmod tests { fn t(d: &Json) { d.get(\"campaign.totals\"); } }";
+        assert!(find("crates/core/src/explain.rs", in_tests).is_empty());
     }
 
     #[test]

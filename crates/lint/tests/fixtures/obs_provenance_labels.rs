@@ -1,0 +1,27 @@
+//! Fixture for `obs-provenance-labels`: provenance/coverage manifest
+//! keys must be consts from the central `names` table, never inline
+//! string literals — the writer and `seedscan explain` share them.
+
+pub fn violations(m: &mut Manifest, doc: &Json) {
+    m.set("campaign.attribution", Json::Null);
+    m.set("campaign.coverage", Json::Null);
+    let _ = doc.get("campaign.totals");
+    let _ = doc.get("provenance.rounds");
+}
+
+pub fn permitted(m: &mut Manifest, doc: &Json) {
+    // Routed through the central table: the sanctioned shape.
+    m.set(sos_core::names::ATTRIBUTION, Json::Null);
+    let _ = doc.get(sos_core::names::COVERAGE);
+    // campaign.attribution in a comment is prose, not a key.
+    let _ = m;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let doc = Json::obj();
+        let _ = doc.get("campaign.scheme_hits"); // tests may spell keys out
+    }
+}

@@ -15,6 +15,7 @@ const CONC: &str = include_str!("fixtures/conc.rs");
 const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
 const TEST_REGION: &str = include_str!("fixtures/test_region.rs");
 const METRIC_NAMES: &str = include_str!("fixtures/obs_metric_names.rs");
+const PROVENANCE_LABELS: &str = include_str!("fixtures/obs_provenance_labels.rs");
 
 fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
     findings.iter().map(|f| f.rule).collect()
@@ -159,6 +160,25 @@ fn metric_name_literals_flagged_outside_the_obs_layer() {
         .contains(&"obs-metric-names"));
 }
 
+#[test]
+fn provenance_label_literals_flagged_outside_the_name_tables() {
+    let hits = lint("crates/core/src/bin/fx.rs", PROVENANCE_LABELS);
+    let fired: Vec<&Finding> =
+        hits.iter().filter(|f| f.rule == "obs-provenance-labels").collect();
+    // the four inline keys in violations(); the const-table forms in
+    // permitted() and the #[cfg(test)] literal stay quiet.
+    assert_eq!(fired.len(), 4, "{hits:?}");
+    assert!(fired.iter().all(|f| f.line <= 11), "{fired:?}");
+    // The central name tables are the one place key literals may live.
+    assert!(!rules_of(&lint("crates/core/src/names.rs", PROVENANCE_LABELS))
+        .contains(&"obs-provenance-labels"));
+    assert!(!rules_of(&lint("crates/obs/src/fx.rs", PROVENANCE_LABELS))
+        .contains(&"obs-provenance-labels"));
+    // Tests may spell keys out.
+    assert!(!rules_of(&lint("crates/core/tests/fx.rs", PROVENANCE_LABELS))
+        .contains(&"obs-provenance-labels"));
+}
+
 // --- suppressions and test regions ---------------------------------------
 
 #[test]
@@ -191,6 +211,7 @@ fn every_rule_is_exercised_by_these_fixtures() {
         ("crates/core/src/fx.rs", CONC),
         ("crates/tga/src/fx.rs", SUPPRESSED),
         ("crates/probe/src/fx.rs", METRIC_NAMES),
+        ("crates/core/src/bin/fx.rs", PROVENANCE_LABELS),
     ] {
         seen.extend(rules_of(&lint(path, src)));
     }

@@ -120,6 +120,22 @@ pub enum Event {
         /// Every engine counter, by name, exact.
         counters: BTreeMap<String, u64>,
     },
+    /// Per-source discovery attribution totals (one event per provenance
+    /// source at campaign end, when the run carried a provenance map).
+    Discovery {
+        /// Provenance source id (TGA code, or 255 for raw target lists).
+        source: u64,
+        /// Distinct regions attributed under this source.
+        regions: u64,
+        /// Probes attributed to this source.
+        probes: u64,
+        /// Hits attributed to this source.
+        hits: u64,
+        /// Attributed hits later classified as aliased.
+        aliases: u64,
+        /// Attributed probes that produced no hit (wasted-probe mass).
+        wasted: u64,
+    },
     /// The campaign returned.
     CampaignEnd {
         /// Whether every prepared target was scanned.
@@ -176,6 +192,7 @@ impl Event {
             Event::Breaker { .. } => "breaker",
             Event::FaultEpoch { .. } => "fault_epoch",
             Event::Snapshot { .. } => "snapshot",
+            Event::Discovery { .. } => "discovery",
             Event::CampaignEnd { .. } => "campaign_end",
         }
     }
@@ -229,6 +246,14 @@ impl Event {
                 o.set("fingerprint", crate::manifest::digest_hex(*fingerprint))
                     .set("done", *done)
                     .set("counters", counters);
+            }
+            Event::Discovery { source, regions, probes, hits, aliases, wasted } => {
+                o.set("source", *source)
+                    .set("regions", *regions)
+                    .set("probes", *probes)
+                    .set("hits", *hits)
+                    .set("aliases", *aliases)
+                    .set("wasted", *wasted);
             }
             Event::CampaignEnd { completed, rounds, resumed_targets } => {
                 o.set("completed", *completed)
@@ -298,6 +323,14 @@ impl Event {
                     .iter()
                     .map(|(k, v)| Ok((k.clone(), v.as_u64().ok_or("bad counter value")?)))
                     .collect::<Result<BTreeMap<_, _>, String>>()?,
+            },
+            "discovery" => Event::Discovery {
+                source: get_u64(j, "source")?,
+                regions: get_u64(j, "regions")?,
+                probes: get_u64(j, "probes")?,
+                hits: get_u64(j, "hits")?,
+                aliases: get_u64(j, "aliases")?,
+                wasted: get_u64(j, "wasted")?,
             },
             "campaign_end" => Event::CampaignEnd {
                 completed: j
@@ -500,6 +533,7 @@ mod tests {
                     .collect(),
             },
             Event::Resume { fingerprint: 0xdead_beef, done: 25, rounds: 1 },
+            Event::Discovery { source: 3, regions: 12, probes: 400, hits: 25, aliases: 2, wasted: 375 },
             Event::CampaignEnd { completed: true, rounds: 4, resumed_targets: 25 },
         ]
     }

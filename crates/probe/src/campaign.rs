@@ -33,6 +33,7 @@ use sos_obs::manifest::fnv1a64;
 use sos_obs::{Event, JournalWriter, SnapshotExporter};
 
 use crate::engine::{ScanReport, Scanner};
+use crate::provenance::{AttributionTable, Provenance, ProvenanceLog};
 use crate::ratelimit::{BucketSnapshot, TokenBucket};
 use crate::retry::{BreakerConfig, BreakerMap, BreakerState};
 use crate::transport::Transport;
@@ -114,6 +115,13 @@ pub struct RunOptions {
     /// Checkpoint writes always snapshot regardless, so the journal's
     /// last snapshot matches the on-disk checkpoint after a kill.
     pub snapshot_every: usize,
+    /// Discovery provenance for the target list (same emission order),
+    /// recorded by the generator that produced it — or
+    /// [`ProvenanceLog::for_targets`] for raw lists. When set, every
+    /// report accumulates a per-region [`AttributionTable`] (rides
+    /// through checkpoints) and the campaign journals per-source
+    /// [`Event::Discovery`] totals at the end. `None` scans untagged.
+    pub provenance: Option<Arc<ProvenanceLog>>,
 }
 
 /// What [`Campaign::run_with`] produced.
@@ -207,6 +215,7 @@ fn report_to_json(r: &ScanReport) -> Json {
         backoff_waited_us,
         throttled_us,
         limited_seconds,
+        attribution,
     } = r;
     let mut o = Json::obj();
     o.set("hits", Json::Arr(hits.iter().map(|h| hex128(u128::from(*h))).collect()))
@@ -224,6 +233,9 @@ fn report_to_json(r: &ScanReport) -> Json {
         .set("backoff_waited_us", *backoff_waited_us)
         .set("throttled_us", *throttled_us)
         .set("limited_seconds_bits", limited_seconds.to_bits());
+    if !attribution.is_empty() {
+        o.set("attribution", attribution.to_json());
+    }
     o
 }
 
@@ -251,6 +263,12 @@ fn report_from_json(j: &Json) -> Result<ScanReport, String> {
         backoff_waited_us: get_u64(j, "backoff_waited_us")?,
         throttled_us: get_u64(j, "throttled_us")?,
         limited_seconds: f64::from_bits(get_u64(j, "limited_seconds_bits")?),
+        // Absent in pre-attribution checkpoints (and untagged runs):
+        // decode as empty so CHECKPOINT_VERSION stays 1.
+        attribution: match j.get("attribution") {
+            None | Some(Json::Null) => AttributionTable::new(),
+            Some(a) => AttributionTable::from_json(a)?,
+        },
     })
 }
 
@@ -474,6 +492,41 @@ fn vclock_us(reports: &[(Protocol, ScanReport)]) -> u64 {
         .sum()
 }
 
+/// The campaign-wide attribution table: every protocol report's table,
+/// key-wise merged (order-invariant, like every other merge of it).
+pub fn merged_attribution(reports: &[(Protocol, ScanReport)]) -> AttributionTable {
+    let mut merged = AttributionTable::new();
+    for (_, r) in reports {
+        merged.merge(&r.attribution);
+    }
+    merged
+}
+
+/// One [`Event::Discovery`] per provenance source, in source order, from
+/// the merged attribution table.
+fn discovery_events(table: &AttributionTable) -> Vec<Event> {
+    let mut by_source: BTreeMap<u8, (u64, u64, u64, u64, u64)> = BTreeMap::new();
+    for (source, _region, tally) in table.rows() {
+        let entry = by_source.entry(source).or_default();
+        entry.0 += 1;
+        entry.1 += tally.probes;
+        entry.2 += tally.hits;
+        entry.3 += tally.aliases;
+        entry.4 += tally.wasted();
+    }
+    by_source
+        .into_iter()
+        .map(|(source, (regions, probes, hits, aliases, wasted))| Event::Discovery {
+            source: source.into(),
+            regions,
+            probes,
+            hits,
+            aliases,
+            wasted,
+        })
+        .collect()
+}
+
 /// Cumulative `(hits, packets)` across every protocol report — diffed
 /// around a round to label [`Event::RoundEnd`] with per-round deltas.
 fn hit_packet_totals(reports: &[(Protocol, ScanReport)]) -> (u64, u64) {
@@ -695,9 +748,18 @@ impl<'a, T: Transport + Clone + Send> Campaign<'a, T> {
         let mut template = ScanReport::default();
         // A resume re-prepares silently: the restored counter snapshot
         // already carries the original run's dedup/blocklist metrics.
-        let prepared =
+        let (prepared, origin) =
             self.scanner
-                .prepare(targets.iter().copied(), resume.is_none(), &mut template);
+                .prepare_mapped(targets.iter().copied(), resume.is_none(), &mut template);
+        // Re-key the emission-order provenance log by prepared index; the
+        // per-round slices below carry global prepared indices, so one
+        // full-length tag slice serves every round.
+        let tags: Option<Vec<Provenance>> = opts.provenance.as_ref().map(|log| {
+            origin
+                .iter()
+                .map(|&orig| log.get_or_fill(orig as usize))
+                .collect()
+        });
 
         let mut done = 0usize;
         let mut rounds = 0usize;
@@ -840,7 +902,9 @@ impl<'a, T: Transport + Clone + Send> Campaign<'a, T> {
                 .enumerate()
                 .map(|(i, &a)| ((done + i) as u32, a))
                 .collect();
-            let round = self.scanner.scan_prepared(&slice, &self.protocols, shards);
+            let round =
+                self.scanner
+                    .scan_prepared(&slice, &self.protocols, shards, tags.as_deref());
             for (i, (proto, partial)) in round.into_iter().enumerate() {
                 debug_assert_eq!(reports[i].0, proto); // i < protocols.len() == reports.len()
                 reports[i].1.absorb_round(partial); // i < reports.len(): one entry per protocol
@@ -923,8 +987,24 @@ impl<'a, T: Transport + Clone + Send> Campaign<'a, T> {
             }
         }
 
+        // Discovery accounting: raise the attribution counters to the
+        // campaign totals (raise-to, so a resumed run lands on the same
+        // values as an uninterrupted one) and journal per-source totals.
+        let attribution = merged_attribution(&reports);
+        if !attribution.is_empty() {
+            let (_, hits, _) = attribution.totals();
+            self.scanner.metrics().raise_attribution(
+                attribution.len() as u64,
+                hits,
+                attribution.wasted(),
+            );
+        }
+
         if let Some(tele) = telemetry.as_mut() {
             let vclock = vclock_us(&reports);
+            for event in discovery_events(&attribution) {
+                tele.write(vclock, event)?;
+            }
             tele.write(
                 vclock,
                 Event::Snapshot {
@@ -1095,6 +1175,13 @@ mod tests {
                     backoff_waited_us: 125_000,
                     throttled_us: 1_500_000,
                     limited_seconds: 0.1 + 0.2, // deliberately non-exact
+                    attribution: {
+                        let mut t = AttributionTable::new();
+                        let p = Provenance { source: 2, region: 7, seed_digest: 0xfeed, round: 1 };
+                        t.record_probe(p);
+                        t.record_hit(p);
+                        t
+                    },
                 },
             )],
             limiter: Some(BucketSnapshot {

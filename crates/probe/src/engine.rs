@@ -36,6 +36,7 @@ use v6addr::PrefixSet;
 
 use crate::metrics::EngineMetrics;
 use crate::packet::build_probe;
+use crate::provenance::{AttributionTable, Provenance, ProvenanceLog};
 use crate::ratelimit::TokenBucket;
 use crate::retry::{Admission, BreakerConfig, BreakerMap, RetryPolicy};
 use crate::transport::{classify_response, Attempt, ProbeSpec, Transport};
@@ -170,6 +171,11 @@ pub struct ScanReport {
     /// shard's budget is `rate / W`, making the aggregate rate equal the
     /// configured budget).
     pub limited_seconds: f64,
+    /// Discovery attribution: probes/hits per provenance `(source,
+    /// region)` key, when the scan was given a provenance map (empty
+    /// otherwise — untagged scans pay nothing). Merged key-wise across
+    /// shards, so the table is identical for every shard count.
+    pub attribution: AttributionTable,
 }
 
 /// Convert a per-target/per-probe virtual-seconds figure to integer
@@ -215,6 +221,7 @@ impl ScanReport {
             backoff_waited_us,
             throttled_us,
             limited_seconds,
+            attribution,
         } = shard;
         self.hits.extend(hits);
         self.probed += probed;
@@ -234,6 +241,8 @@ impl ScanReport {
         self.throttled_us += throttled_us;
         // max, not sum: shards wait concurrently (see field doc).
         self.limited_seconds = self.limited_seconds.max(limited_seconds);
+        // keyed sum: merge order never changes a BTreeMap fold.
+        self.attribution.merge(&attribution);
     }
 
     /// Fold a *sequential* round's report into this one (campaign
@@ -258,10 +267,23 @@ fn prepare_targets(
     targets: impl IntoIterator<Item = Ipv6Addr>,
     report: &mut ScanReport,
 ) -> Vec<Ipv6Addr> {
+    prepare_targets_mapped(blocklist, metrics, targets, report).0
+}
+
+/// [`prepare_targets`] plus, for each prepared target, its index in the
+/// *original* (pre-dedup) stream — the alignment the provenance carrier
+/// needs, since generators tag candidates in emission order.
+fn prepare_targets_mapped(
+    blocklist: &PrefixSet,
+    metrics: Option<&EngineMetrics>,
+    targets: impl IntoIterator<Item = Ipv6Addr>,
+    report: &mut ScanReport,
+) -> (Vec<Ipv6Addr>, Vec<u32>) {
     let targets = targets.into_iter();
     let mut prepared = Vec::with_capacity(targets.size_hint().0);
+    let mut origin = Vec::new();
     let mut seen: HashSet<u128> = HashSet::new();
-    for dst in targets {
+    for (i, dst) in targets.enumerate() {
         if !seen.insert(u128::from(dst)) {
             report.duplicates += 1;
             if let Some(m) = metrics {
@@ -277,8 +299,9 @@ fn prepare_targets(
             continue;
         }
         prepared.push(dst);
+        origin.push(i as u32);
     }
-    prepared
+    (prepared, origin)
 }
 
 /// The prefix length the sharded pipeline partitions targets by: coarse
@@ -321,6 +344,13 @@ fn shard_of(addr: u128, partition_len: u8, shards: usize) -> usize {
 /// restores global hit order by sorting on the index). This is the
 /// per-shard worker loop; with the scanner's own transport, limiter, and
 /// breaker it is also the `shards == 1` path.
+///
+/// `prov`, when present, maps **global prepared index → provenance tag**
+/// (the full prepared-length slice, not the shard's slice); each probed
+/// target and each hit is tallied into the partial report's attribution
+/// table. Attribution writes touch nothing the probe path reads, so a
+/// tagged scan's hits and counters are bit-identical to an untagged one.
+#[allow(clippy::too_many_arguments)]
 fn scan_shard<T: Transport>(
     cfg: &ScannerConfig,
     transport: &mut T,
@@ -329,6 +359,7 @@ fn scan_shard<T: Transport>(
     metrics: &EngineMetrics,
     targets: &[(u32, Ipv6Addr)],
     proto: Protocol,
+    prov: Option<&[Provenance]>,
 ) -> (ScanReport, Vec<(u32, Ipv6Addr)>) {
     let mut report = ScanReport::default();
     let mut hits: Vec<(u32, Ipv6Addr)> = Vec::new();
@@ -349,6 +380,9 @@ fn scan_shard<T: Transport>(
             }
         }
         report.probed += 1;
+        if let Some(p) = prov.and_then(|ps| ps.get(idx as usize)) {
+            report.attribution.record_probe(*p);
+        }
         let spec = cfg.spec(dst, proto);
         let budget = cfg.retry.attempts_allowed(cfg.salt, u128::from(dst));
         let burst = transport.probe_burst(&spec, budget);
@@ -386,7 +420,12 @@ fn scan_shard<T: Transport>(
             backoff_us += us;
         }
         match burst.verdict {
-            Attempt::Hit => hits.push((idx, dst)),
+            Attempt::Hit => {
+                if let Some(p) = prov.and_then(|ps| ps.get(idx as usize)) {
+                    report.attribution.record_hit(*p);
+                }
+                hits.push((idx, dst));
+            }
             Attempt::Rst => report.rsts += 1,
             Attempt::Unreachable => report.unreachables += 1,
             _ => report.silent += 1,
@@ -485,18 +524,21 @@ impl<T: Transport> Scanner<T> {
         &mut self.breaker
     }
 
-    /// Dedup + blocklist a target stream against this scanner's config.
-    /// `record` controls whether the drops hit the metrics registry (a
-    /// checkpoint resume re-prepares silently: the original run already
-    /// counted them, and the restored counter snapshot carries them).
-    pub(crate) fn prepare(
+    /// Dedup + blocklist a target stream against this scanner's config,
+    /// returning each prepared target's index in the original stream (for
+    /// aligning a [`ProvenanceLog`] recorded in emission order with the
+    /// deduplicated probe list). `record` controls whether the drops hit
+    /// the metrics registry (a checkpoint resume re-prepares silently:
+    /// the original run already counted them, and the restored counter
+    /// snapshot carries them).
+    pub(crate) fn prepare_mapped(
         &self,
         targets: impl IntoIterator<Item = Ipv6Addr>,
         record: bool,
         report: &mut ScanReport,
-    ) -> Vec<Ipv6Addr> {
+    ) -> (Vec<Ipv6Addr>, Vec<u32>) {
         let metrics = record.then_some(&self.metrics);
-        prepare_targets(&self.cfg.blocklist, metrics, targets, report)
+        prepare_targets_mapped(&self.cfg.blocklist, metrics, targets, report)
     }
 
     /// Total packets this scanner has transmitted, including packets sent
@@ -714,7 +756,7 @@ impl<T: Transport + Clone + Send> Scanner<T> {
             .enumerate()
             .map(|(i, a)| (i as u32, a))
             .collect();
-        let mut out = self.scan_prepared(&indexed, protocols, shards);
+        let mut out = self.scan_prepared(&indexed, protocols, shards, None);
         for (_, report) in &mut out {
             // Preparation happened once, above; every per-protocol report
             // carries the same dedup/blocklist accounting.
@@ -724,17 +766,61 @@ impl<T: Transport + Clone + Send> Scanner<T> {
         out
     }
 
+    /// [`Scanner::scan_parallel`] with discovery attribution: `prov` is
+    /// the provenance log a generator recorded alongside `targets` (in
+    /// the same emission order), and the returned report's
+    /// [`ScanReport::attribution`] tallies probes and hits per `(source,
+    /// region)`. Hits, counters, and probe behaviour are bit-identical to
+    /// the untagged path — attribution is bookkeeping on the side.
+    pub fn scan_parallel_attributed(
+        &mut self,
+        targets: impl IntoIterator<Item = Ipv6Addr>,
+        proto: Protocol,
+        shards: usize,
+        prov: &ProvenanceLog,
+    ) -> ScanReport {
+        let shards = shards.max(1);
+        let _span = sos_obs::span_detail("scan_attributed", format!("shards={shards}"));
+        let mut template = ScanReport::default();
+        let (prepared, origin) =
+            prepare_targets_mapped(&self.cfg.blocklist, Some(&self.metrics), targets, &mut template);
+        let indexed: Vec<(u32, Ipv6Addr)> = prepared
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| (i as u32, a))
+            .collect();
+        // Re-key the emission-order log by prepared index.
+        let tags: Vec<Provenance> = origin
+            .iter()
+            .map(|&orig| prov.get_or_fill(orig as usize))
+            .collect();
+        let prov_slice = prov.is_enabled().then_some(tags.as_slice());
+        let mut report = self
+            .scan_prepared(&indexed, &[proto], shards, prov_slice)
+            .pop()
+            // sos-lint: allow(panic-unwrap) scan_prepared returns exactly one entry per requested protocol
+            .expect("one report per protocol")
+            .1;
+        report.duplicates += template.duplicates;
+        report.blocked += template.blocked;
+        report
+    }
+
     /// Scan an already-prepared (deduplicated, unblocked, globally
     /// indexed) target list. This is the shared back half of
     /// [`Scanner::scan_parallel_multi`] and the campaign checkpoint
     /// rounds: targets are partitioned across shards **by prefix hash**
     /// (never round-robin), so every fault domain and breaker domain lands
     /// wholly inside one shard and per-prefix virtual clocks never fork.
+    ///
+    /// `prov` maps global prepared indices to provenance tags (see
+    /// [`scan_shard`]); `None` scans untagged.
     pub(crate) fn scan_prepared(
         &mut self,
         prepared: &[(u32, Ipv6Addr)],
         protocols: &[Protocol],
         shards: usize,
+        prov: Option<&[Provenance]>,
     ) -> Vec<(Protocol, ScanReport)> {
         let shards = shards.max(1);
         let start = sos_obs::now_s();
@@ -755,6 +841,7 @@ impl<T: Transport + Clone + Send> Scanner<T> {
                 &self.metrics,
                 prepared,
                 proto,
+                prov,
             );
             let exec_s = sos_obs::now_s() - t0;
             // A single task sees targets in input order already.
@@ -841,6 +928,7 @@ impl<T: Transport + Clone + Send> Scanner<T> {
                             metrics,
                             slice,
                             proto,
+                            prov,
                         );
                         (report, hits, transport, breaker, sos_obs::now_s() - t0, slice.len())
                     }));

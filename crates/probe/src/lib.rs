@@ -26,16 +26,23 @@ pub mod metrics;
 pub mod oracle;
 pub mod packet;
 pub mod pcap;
+pub mod provenance;
 pub mod ratelimit;
 pub mod retry;
 pub mod sim;
 pub mod transport;
 
-pub use campaign::{Campaign, CampaignCheckpoint, CampaignResult, CampaignRun, RunOptions};
+pub use campaign::{
+    merged_attribution, Campaign, CampaignCheckpoint, CampaignResult, CampaignRun, RunOptions,
+};
 pub use engine::{ProbeOutcome, ScanReport, Scanner, ScannerConfig, SkipReason};
 pub use metrics::EngineMetrics;
 pub use oracle::{NullOracle, ScanOracle};
 pub use packet::{build_probe, parse_packet, PacketError, ParsedPacket};
+pub use provenance::{
+    attribute_hits, seed_digest, AttributionTable, HitAttribution, Provenance, ProvenanceLog,
+    RegionTally, REGION_FILL, SOURCE_TARGETS,
+};
 pub use pcap::{CapturingTransport, PcapWriter};
 pub use ratelimit::TokenBucket;
 pub use retry::{Admission, BreakerConfig, BreakerMap, BreakerState, RetryPolicy};

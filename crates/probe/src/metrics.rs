@@ -56,6 +56,12 @@ pub mod names {
     pub const BACKOFF_WAITED_US: &str = "probe.backoff.waited_us";
     /// Targets restored as done by a checkpoint resume.
     pub const RESUMED_TARGETS: &str = "probe.resumed_targets";
+    /// Distinct provenance `(source, region)` rows attributed.
+    pub const ATTR_REGIONS: &str = "probe.attribution.regions";
+    /// Hits carrying a provenance attribution.
+    pub const ATTR_HITS: &str = "probe.attribution.hits";
+    /// Attributed probes that produced no hit (wasted-probe mass).
+    pub const ATTR_WASTED: &str = "probe.attribution.wasted_probes";
     /// Label key for the per-protocol series of [`HITS`]/[`PACKETS_SENT`].
     pub const PROTO_LABEL: &str = "proto";
 }
@@ -122,6 +128,9 @@ impl Mirrored {
 /// | `probe.breaker.skipped` | targets skipped by open breakers |
 /// | `probe.backoff.waited_us` | virtual µs spent in retry backoff |
 /// | `probe.resumed_targets` | targets restored as done by a checkpoint resume |
+/// | `probe.attribution.regions` | distinct provenance `(source, region)` rows attributed |
+/// | `probe.attribution.hits` | hits carrying a provenance attribution |
+/// | `probe.attribution.wasted_probes` | attributed probes that produced no hit |
 ///
 /// Histogram `probe.ratelimit.wait_us` records each stall's wait in µs.
 ///
@@ -148,6 +157,9 @@ pub struct EngineMetrics {
     pub(crate) breaker_skipped: Mirrored,
     pub(crate) backoff_waited_us: Mirrored,
     pub(crate) resumed_targets: Mirrored,
+    pub(crate) attr_regions: Mirrored,
+    pub(crate) attr_hits: Mirrored,
+    pub(crate) attr_wasted: Mirrored,
     /// `probe.hits{proto=…}`, indexed by [`Protocol::index`].
     hits_proto: [(String, Mirrored); 4],
     /// `probe.packets_sent{proto=…}`, indexed by [`Protocol::index`].
@@ -192,6 +204,9 @@ impl EngineMetrics {
             breaker_skipped: c(names::BREAKER_SKIPPED),
             backoff_waited_us: c(names::BACKOFF_WAITED_US),
             resumed_targets: c(names::RESUMED_TARGETS),
+            attr_regions: c(names::ATTR_REGIONS),
+            attr_hits: c(names::ATTR_HITS),
+            attr_wasted: c(names::ATTR_WASTED),
             hits_proto: labeled(names::HITS),
             packets_proto: labeled(names::PACKETS_SENT),
             wait_us_local: registry.histogram(names::RATELIMIT_WAIT_US),
@@ -233,6 +248,9 @@ impl EngineMetrics {
             (names::BREAKER_SKIPPED.to_string(), &self.breaker_skipped),
             (names::BACKOFF_WAITED_US.to_string(), &self.backoff_waited_us),
             (names::RESUMED_TARGETS.to_string(), &self.resumed_targets),
+            (names::ATTR_REGIONS.to_string(), &self.attr_regions),
+            (names::ATTR_HITS.to_string(), &self.attr_hits),
+            (names::ATTR_WASTED.to_string(), &self.attr_wasted),
         ];
         for (name, counter) in self.hits_proto.iter().chain(&self.packets_proto) {
             out.push((name.clone(), counter));
@@ -249,6 +267,23 @@ impl EngineMetrics {
         for (name, counter) in self.mirrored() {
             let want = snapshot.get(&name).copied().unwrap_or(0);
             let have = current.get(&name).copied().unwrap_or(0);
+            if want > have {
+                counter.add(want - have);
+            }
+        }
+    }
+
+    /// Raise the attribution counters to the campaign's current totals.
+    /// Raise-to (not add): the totals are cumulative snapshots recomputed
+    /// at each boundary, and a checkpoint resume restores earlier values
+    /// — identical to the [`Self::restore_counters`] semantics.
+    pub(crate) fn raise_attribution(&self, regions: u64, hits: u64, wasted: u64) {
+        for (counter, name, want) in [
+            (&self.attr_regions, names::ATTR_REGIONS, regions),
+            (&self.attr_hits, names::ATTR_HITS, hits),
+            (&self.attr_wasted, names::ATTR_WASTED, wasted),
+        ] {
+            let have = self.counter(name);
             if want > have {
                 counter.add(want - have);
             }

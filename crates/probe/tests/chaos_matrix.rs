@@ -113,6 +113,52 @@ fn breaker_equipped_scans_are_shard_invariant_under_every_schedule() {
     }
 }
 
+/// Attribution accounting must be exactly as shard-invariant as the scan
+/// itself: the per-region table a provenance-tagged campaign accumulates
+/// is bit-identical across 1, 4, and 8 shards under every fault schedule,
+/// and its per-region sums always equal the report's top-level counters.
+#[test]
+fn attribution_tables_are_shard_invariant_under_every_schedule() {
+    use sos_probe::provenance::ProvenanceLog;
+    use sos_probe::RunOptions;
+    for (name, faults) in schedules() {
+        let w = faulty_world(faults, 0xC4A07);
+        let t = targets(&w);
+        let prov = Arc::new(ProvenanceLog::for_targets(&t));
+        let mut baseline = None;
+        for shards in [1usize, 4, 8] {
+            let mut s = scanner(w.clone(), None);
+            let opts = RunOptions {
+                shards,
+                provenance: Some(prov.clone()),
+                ..RunOptions::default()
+            };
+            let run = Campaign::standard(&mut s).run_with(&t, &opts, None).unwrap();
+            for (proto, r) in &run.result.reports {
+                let (probes, hits, _) = r.attribution.totals();
+                assert_eq!(
+                    probes, r.probed as u64,
+                    "schedule {name}/{shards}: {proto:?} probe sum != probed"
+                );
+                assert_eq!(
+                    hits,
+                    r.hits.len() as u64,
+                    "schedule {name}/{shards}: {proto:?} hit sum != hits"
+                );
+            }
+            let table = sos_probe::merged_attribution(&run.result.reports);
+            assert!(!table.is_empty(), "schedule {name}: tagged scan must attribute");
+            match &baseline {
+                None => baseline = Some(table),
+                Some(b) => assert_eq!(
+                    b, &table,
+                    "schedule {name}: attribution diverged at {shards} shards"
+                ),
+            }
+        }
+    }
+}
+
 /// In a world where half the fault domains are permanently blackholed,
 /// arming the breakers must cut the packet budget by at least 30% while
 /// leaving every live-prefix hit untouched — the breaker only gives up on

@@ -58,17 +58,29 @@ fn resume_is_bit_identical_at_every_round_boundary() {
     let w = hostile_world(0xCE5);
     let t = targets(&w);
 
+    // Arm provenance so the report-equality assertions below also pin the
+    // per-region attribution tables across every kill/resume boundary —
+    // ScanReport's PartialEq covers the table field.
+    let prov = Arc::new(sos_probe::ProvenanceLog::for_targets(&t));
     let full_path = tmp("full");
     let opts = RunOptions {
         shards: 4,
         checkpoint_every: EVERY,
         checkpoint_path: Some(full_path.clone()),
+        provenance: Some(prov),
         ..RunOptions::default()
     };
     let mut s = scanner(w.clone(), None);
     let full = Campaign::standard(&mut s).run_with(&t, &opts, None).unwrap();
     assert!(full.completed);
     assert_eq!(full.resumed_targets, 0);
+    let full_attr = sos_probe::merged_attribution(&full.result.reports);
+    assert!(!full_attr.is_empty(), "tagged campaign must attribute");
+    for (proto, r) in &full.result.reports {
+        let (probes, hits, _) = r.attribution.totals();
+        assert_eq!(probes, r.probed as u64, "{proto:?} attribution probe sum");
+        assert_eq!(hits, r.hits.len() as u64, "{proto:?} attribution hit sum");
+    }
     let mut full_counters = s.metrics().counters();
     full_counters.remove("probe.resumed_targets");
     let full_ckpt = CampaignCheckpoint::load(&full_path).unwrap();
@@ -99,6 +111,11 @@ fn resume_is_bit_identical_at_every_round_boundary() {
         assert_eq!(
             resumed.result.reports, full.result.reports,
             "reports diverged after kill at round {k}"
+        );
+        assert_eq!(
+            sos_probe::merged_attribution(&resumed.result.reports),
+            full_attr,
+            "attribution diverged after kill at round {k}"
         );
         let mut counters = s2.metrics().counters();
         assert_eq!(

@@ -7,7 +7,9 @@ use std::net::Ipv6Addr;
 use std::sync::Arc;
 
 use netmodel::{Protocol, World, WorldConfig};
-use sos_probe::{RetryPolicy, ScanReport, Scanner, ScannerConfig, SimTransport};
+use sos_probe::{
+    AttributionTable, Provenance, RetryPolicy, ScanReport, Scanner, ScannerConfig, SimTransport,
+};
 use v6addr::{Prefix, PrefixSet};
 
 fn world() -> Arc<World> {
@@ -185,6 +187,15 @@ fn every_scan_report_field_has_a_merge_rule() {
         backoff_waited_us: 12 * scale,
         throttled_us: 13 * scale,
         limited_seconds: 14.0 * scale as f64,
+        attribution: {
+            let mut t = AttributionTable::new();
+            let p = Provenance { source: 1, region: 9, seed_digest: 0xf00, round: 0 };
+            for _ in 0..scale {
+                t.record_probe(p);
+            }
+            t.record_hit(p);
+            t
+        },
     };
     let mut merged = mk(1);
     merged.absorb_shard(mk(100));
@@ -205,4 +216,7 @@ fn every_scan_report_field_has_a_merge_rule() {
     // Shards rate-limit concurrently: wall-clock wait is the slowest
     // shard's, not the sum.
     assert_eq!(merged.limited_seconds, 1400.0, "max-merged, not summed");
+    // Attribution tables merge key-wise: same (source, region) row sums.
+    assert_eq!(merged.attribution.totals(), (101, 2, 0), "keyed sum");
+    assert_eq!(merged.attribution.len(), 1);
 }

@@ -19,6 +19,7 @@ use std::net::Ipv6Addr;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use sos_probe::provenance::{seed_digest, ProvenanceLog};
 use sos_probe::ScanOracle;
 
 use crate::space_tree::{build_regions, Region, SplitStrategy};
@@ -87,11 +88,12 @@ impl TargetGenerator for Det {
         TgaId::Det
     }
 
-    fn generate(
+    fn generate_tagged(
         &mut self,
         seeds: &[Ipv6Addr],
         cfg: &GenConfig,
         oracle: &mut dyn ScanOracle,
+        prov: &mut ProvenanceLog,
     ) -> Vec<Ipv6Addr> {
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xde7);
         let mut arms: Vec<Arm> = build_regions(seeds, SplitStrategy::MinEntropy, self.max_leaf, self.max_regions)
@@ -174,6 +176,17 @@ impl TargetGenerator for Det {
                         .filter(|(_, &h)| h)
                         .map(|(&a, _)| a),
                 );
+                // Provenance: the bandit arm (tree leaf) this batch was
+                // drawn from, digested over the leaf's member seeds. Arms
+                // are rebuilt online, so the digest — not the index — is
+                // the stable identity across tree updates.
+                if prov.is_enabled() {
+                    // idx < arms.len(): the bandit drew it over `arms`
+                    let d = seed_digest(arms[idx].region.members.iter().copied());
+                    for _ in 0..batch.len() {
+                        prov.push(idx as u32, d, round.min(u16::MAX as usize) as u16);
+                    }
+                }
                 out.extend(batch);
             }
 
@@ -218,7 +231,7 @@ impl TargetGenerator for Det {
             }
         }
 
-        fill_budget_by_mutation(&mut out, &mut seen, seeds, cfg.budget, &mut rng);
+        fill_budget_by_mutation(&mut out, &mut seen, seeds, cfg.budget, &mut rng, prov);
         out
     }
 }

@@ -19,6 +19,7 @@ use std::net::Ipv6Addr;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use sos_probe::provenance::{seed_digest, ProvenanceLog};
 use sos_probe::ScanOracle;
 use v6addr::{nybble_of, EntropyProfile};
 
@@ -95,19 +96,28 @@ impl TargetGenerator for EntropyIp {
         TgaId::EntropyIp
     }
 
-    fn generate(
+    fn generate_tagged(
         &mut self,
         seeds: &[Ipv6Addr],
         cfg: &GenConfig,
         _oracle: &mut dyn ScanOracle,
+        prov: &mut ProvenanceLog,
     ) -> Vec<Ipv6Addr> {
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xe1b);
         if seeds.is_empty() {
             let mut out = Vec::new();
             let mut seen = HashSet::new();
-            fill_budget_by_mutation(&mut out, &mut seen, seeds, cfg.budget, &mut rng);
+            fill_budget_by_mutation(&mut out, &mut seen, seeds, cfg.budget, &mut rng, prov);
             return out;
         }
+        // Provenance: EIP has no spatial partition — every candidate comes
+        // from the one global segment model, so region 0 with the whole
+        // seed set's digest is the honest attribution.
+        let model_digest = if prov.is_enabled() {
+            seed_digest(seeds.iter().copied())
+        } else {
+            0
+        };
 
         // 1. Entropy profile → segment boundaries (chopped to word size).
         let profile = EntropyProfile::compute(seeds);
@@ -213,13 +223,14 @@ impl TargetGenerator for EntropyIp {
             }
             if seen.insert(bits) {
                 out.push(Ipv6Addr::from(bits));
+                prov.push(0, model_digest, 0);
                 stale = 0;
             } else {
                 stale += 1;
             }
         }
 
-        fill_budget_by_mutation(&mut out, &mut seen, seeds, cfg.budget, &mut rng);
+        fill_budget_by_mutation(&mut out, &mut seen, seeds, cfg.budget, &mut rng, prov);
         out
     }
 }

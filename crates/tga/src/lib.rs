@@ -37,6 +37,7 @@ use std::net::Ipv6Addr;
 
 use netmodel::Protocol;
 use serde::{Deserialize, Serialize};
+use sos_probe::provenance::{ProvenanceLog, REGION_FILL};
 use sos_probe::ScanOracle;
 
 /// Identifies one of the eight studied TGAs.
@@ -94,6 +95,20 @@ impl TgaId {
             TgaId::SixSense | TgaId::Det | TgaId::SixScan | TgaId::SixHit
         )
     }
+
+    /// Compact provenance source id (this TGA's index in [`Self::ALL`]) —
+    /// the `source` byte carried by every
+    /// [`Provenance`](sos_probe::Provenance) tag.
+    pub fn code(self) -> u8 {
+        // sos-lint: allow(panic-unwrap) ALL contains every variant by construction
+        TgaId::ALL.iter().position(|&t| t == self).expect("TgaId in ALL") as u8
+    }
+
+    /// Inverse of [`Self::code`] (`None` for ids no TGA owns, e.g. the
+    /// raw-target-list source `255`).
+    pub fn from_code(code: u8) -> Option<TgaId> {
+        TgaId::ALL.get(usize::from(code)).copied()
+    }
 }
 
 impl std::fmt::Display for TgaId {
@@ -126,19 +141,39 @@ pub trait TargetGenerator {
     /// Which TGA this is.
     fn id(&self) -> TgaId;
 
-    /// Generate up to `cfg.budget` unique candidates from `seeds`.
+    /// Generate up to `cfg.budget` unique candidates from `seeds`,
+    /// recording each candidate's provenance (internal region/cluster id,
+    /// contributing-seed digest, generation round) into `prov` — one
+    /// [`ProvenanceLog::push`] per emitted address, in emission order.
     ///
     /// Offline generators ignore `oracle`; online ones probe through it
     /// and adapt. Returned addresses are deduplicated; generators always
     /// fill the budget (falling back to seed mutation when their model
     /// space is exhausted, mirroring the paper's observation that all
-    /// eight "successfully generated 50M addresses").
+    /// eight "successfully generated 50M addresses"; fill output is
+    /// tagged [`REGION_FILL`]).
+    ///
+    /// A disabled log makes every push a no-op, so the tagged and
+    /// untagged paths run the **same code** — candidate streams are
+    /// bit-identical by construction (asserted by the crate's
+    /// `provenance_identity` test).
+    fn generate_tagged(
+        &mut self,
+        seeds: &[Ipv6Addr],
+        cfg: &GenConfig,
+        oracle: &mut dyn ScanOracle,
+        prov: &mut ProvenanceLog,
+    ) -> Vec<Ipv6Addr>;
+
+    /// [`Self::generate_tagged`] without provenance recording.
     fn generate(
         &mut self,
         seeds: &[Ipv6Addr],
         cfg: &GenConfig,
         oracle: &mut dyn ScanOracle,
-    ) -> Vec<Ipv6Addr>;
+    ) -> Vec<Ipv6Addr> {
+        self.generate_tagged(seeds, cfg, oracle, &mut ProvenanceLog::disabled())
+    }
 }
 
 /// Instantiate a TGA by id with its default parameters (§4.1 uses default
@@ -181,6 +216,10 @@ pub mod names {
     pub const GEN_PACKETS: &str = "tga.gen_packets";
     /// Generation throughput histogram, addresses per second.
     pub const ADDRS_PER_SEC: &str = "tga.addrs_per_sec";
+    /// Candidates emitted with a provenance tag (tagged runs only).
+    pub const PROV_TAGGED: &str = "tga.provenance.tagged";
+    /// Distinct provenance regions the generators emitted into.
+    pub const PROV_REGIONS: &str = "tga.provenance.regions";
 }
 
 /// Transparent observability wrapper around any generator: every
@@ -196,11 +235,12 @@ impl TargetGenerator for Instrumented {
         self.inner.id()
     }
 
-    fn generate(
+    fn generate_tagged(
         &mut self,
         seeds: &[Ipv6Addr],
         cfg: &GenConfig,
         oracle: &mut dyn ScanOracle,
+        prov: &mut ProvenanceLog,
     ) -> Vec<Ipv6Addr> {
         let label = self.inner.id().label();
         let _span = sos_obs::span_detail(
@@ -209,12 +249,21 @@ impl TargetGenerator for Instrumented {
         );
         let start = sos_obs::now_s();
         let packets_before = oracle.packets_sent();
-        let out = self.inner.generate(seeds, cfg, oracle);
+        let tagged_before = prov.len();
+        let out = self.inner.generate_tagged(seeds, cfg, oracle, prov);
         let dur_s = sos_obs::now_s() - start;
         let gen_packets = oracle.packets_sent() - packets_before;
         sos_obs::counter(names::GENERATED_ADDRS).add(out.len() as u64);
         sos_obs::counter(&format!("tga.{label}.generated_addrs")).add(out.len() as u64);
         sos_obs::counter(names::GEN_PACKETS).add(gen_packets);
+        if prov.is_enabled() {
+            sos_obs::counter(names::PROV_TAGGED).add((prov.len() - tagged_before) as u64);
+            let regions: std::collections::HashSet<u32> = (tagged_before..prov.len())
+                .filter_map(|i| prov.get(i))
+                .map(|p| p.region)
+                .collect();
+            sos_obs::counter(names::PROV_REGIONS).add(regions.len() as u64);
+        }
         if dur_s > 0.0 {
             let rate = (out.len() as f64 / dur_s) as u64;
             sos_obs::histogram(names::ADDRS_PER_SEC).record(rate);
@@ -230,13 +279,15 @@ impl TargetGenerator for Instrumented {
 /// Shared budget-filling fallback: mutate random seeds in their low
 /// nybbles until `out` reaches `budget`. Every TGA paper pads its output
 /// when the learned model saturates; low-nybble mutation is the common
-/// generic expansion.
+/// generic expansion. Fill output has no structural region, so every
+/// emitted address is tagged [`REGION_FILL`].
 pub(crate) fn fill_budget_by_mutation(
     out: &mut Vec<Ipv6Addr>,
     seen: &mut std::collections::HashSet<u128>,
     seeds: &[Ipv6Addr],
     budget: usize,
     rng: &mut impl rand::Rng,
+    prov: &mut ProvenanceLog,
 ) {
     use v6addr::with_nybble;
     if seeds.is_empty() {
@@ -245,6 +296,7 @@ pub(crate) fn fill_budget_by_mutation(
             let bits = 0x2000_0000_0000_0000_0000_0000_0000_0000u128 | (rng.gen::<u128>() >> 3);
             if seen.insert(bits) {
                 out.push(Ipv6Addr::from(bits));
+                prov.push(REGION_FILL, 0, 0);
             }
         }
         return;
@@ -265,6 +317,7 @@ pub(crate) fn fill_budget_by_mutation(
         }
         if seen.insert(u128::from(addr)) {
             out.push(addr);
+            prov.push(REGION_FILL, 0, 0);
             stale = 0;
         } else {
             stale += 1;
@@ -275,6 +328,7 @@ pub(crate) fn fill_budget_by_mutation(
         let bits = 0x2000_0000_0000_0000_0000_0000_0000_0000u128 | (rng.gen::<u128>() >> 3);
         if seen.insert(bits) {
             out.push(Ipv6Addr::from(bits));
+            prov.push(REGION_FILL, 0, 0);
         }
     }
 }
@@ -311,14 +365,27 @@ mod tests {
     }
 
     #[test]
+    fn codes_round_trip_and_stay_dense() {
+        for (i, id) in TgaId::ALL.into_iter().enumerate() {
+            assert_eq!(id.code(), i as u8, "code is the ALL index");
+            assert_eq!(TgaId::from_code(id.code()), Some(id));
+        }
+        assert_eq!(TgaId::from_code(8), None);
+        assert_eq!(TgaId::from_code(sos_probe::SOURCE_TARGETS), None);
+    }
+
+    #[test]
     fn mutation_filler_reaches_budget_and_dedups() {
         use rand::SeedableRng;
         let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
         let seeds: Vec<Ipv6Addr> = vec!["2001:db8::1".parse().unwrap()];
         let mut out = Vec::new();
         let mut seen = std::collections::HashSet::new();
-        fill_budget_by_mutation(&mut out, &mut seen, &seeds, 500, &mut rng);
+        let mut prov = ProvenanceLog::recording(TgaId::SixTree.code());
+        fill_budget_by_mutation(&mut out, &mut seen, &seeds, 500, &mut rng, &mut prov);
         assert_eq!(out.len(), 500);
+        assert_eq!(prov.len(), 500, "one tag per emitted address");
+        assert!(prov.get(0).is_some_and(|p| p.region == REGION_FILL));
         let mut uniq = out.clone();
         uniq.sort();
         uniq.dedup();
@@ -331,7 +398,7 @@ mod tests {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
         let mut out = Vec::new();
         let mut seen = std::collections::HashSet::new();
-        fill_budget_by_mutation(&mut out, &mut seen, &[], 100, &mut rng);
+        fill_budget_by_mutation(&mut out, &mut seen, &[], 100, &mut rng, &mut ProvenanceLog::disabled());
         assert_eq!(out.len(), 100);
         // everything lands in global unicast 2000::/3
         assert!(out.iter().all(|a| u128::from(*a) >> 125 == 1));

@@ -18,6 +18,7 @@ use std::net::Ipv6Addr;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use sos_probe::provenance::{seed_digest, ProvenanceLog};
 use sos_probe::ScanOracle;
 
 use crate::space_tree::Region;
@@ -55,11 +56,12 @@ impl TargetGenerator for SixGen {
         TgaId::SixGen
     }
 
-    fn generate(
+    fn generate_tagged(
         &mut self,
         seeds: &[Ipv6Addr],
         cfg: &GenConfig,
         _oracle: &mut dyn ScanOracle,
+        prov: &mut ProvenanceLog,
     ) -> Vec<Ipv6Addr> {
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x69e4);
 
@@ -100,6 +102,14 @@ impl TargetGenerator for SixGen {
             db.total_cmp(&da)
         });
 
+        // Provenance: cluster index in density order, digest of the
+        // cluster's member seeds, round = sweep pass.
+        let digests: Vec<u32> = if prov.is_enabled() {
+            clusters.iter().map(|c| seed_digest(c.members.iter().copied())).collect()
+        } else {
+            Vec::new()
+        };
+
         let mut out: Vec<Ipv6Addr> = Vec::with_capacity(cfg.budget);
         let mut seen: HashSet<u128> = HashSet::with_capacity(cfg.budget * 2);
 
@@ -138,6 +148,7 @@ impl TargetGenerator for SixGen {
                 for a in enumerated {
                     if seen.insert(u128::from(a)) {
                         out.push(a);
+                        prov.push(ci as u32, digests.get(ci).copied().unwrap_or(0), pass as u16);
                         if out.len() >= cfg.budget {
                             break;
                         }
@@ -147,7 +158,7 @@ impl TargetGenerator for SixGen {
             horizon *= 8;
         }
 
-        fill_budget_by_mutation(&mut out, &mut seen, seeds, cfg.budget, &mut rng);
+        fill_budget_by_mutation(&mut out, &mut seen, seeds, cfg.budget, &mut rng, prov);
         out
     }
 }

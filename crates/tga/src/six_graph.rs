@@ -12,6 +12,7 @@ use std::net::Ipv6Addr;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use sos_probe::provenance::ProvenanceLog;
 use sos_probe::ScanOracle;
 use v6addr::Nybbles;
 
@@ -83,11 +84,12 @@ impl TargetGenerator for SixGraph {
         TgaId::SixGraph
     }
 
-    fn generate(
+    fn generate_tagged(
         &mut self,
         seeds: &[Ipv6Addr],
         cfg: &GenConfig,
         _oracle: &mut dyn ScanOracle,
+        prov: &mut ProvenanceLog,
     ) -> Vec<Ipv6Addr> {
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x66ea9);
         let raw = build_regions(seeds, SplitStrategy::MinEntropy, self.max_leaf, self.max_regions);
@@ -100,7 +102,7 @@ impl TargetGenerator for SixGraph {
             })
             .filter(|r| r.seed_count > 0)
             .collect();
-        expand_regions(&mut regions, seeds, cfg.budget, self.explore, &mut rng)
+        expand_regions(&mut regions, seeds, cfg.budget, self.explore, &mut rng, prov)
     }
 }
 

@@ -14,6 +14,7 @@ use std::net::Ipv6Addr;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use sos_probe::provenance::{seed_digest, ProvenanceLog};
 use sos_probe::ScanOracle;
 
 use crate::space_tree::{build_regions, SplitStrategy};
@@ -57,15 +58,26 @@ impl TargetGenerator for SixHit {
         TgaId::SixHit
     }
 
-    fn generate(
+    fn generate_tagged(
         &mut self,
         seeds: &[Ipv6Addr],
         cfg: &GenConfig,
         oracle: &mut dyn ScanOracle,
+        prov: &mut ProvenanceLog,
     ) -> Vec<Ipv6Addr> {
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x6417);
         let mut regions = build_regions(seeds, SplitStrategy::Leftmost, self.max_leaf, self.max_regions);
         let mut q = vec![0.0f64; regions.len()]; // smoothed hit-rate
+        // Provenance digests per region; recomputed on tree recreation
+        // (indices reset then, the digest is the stable identity).
+        let digest_all = |rs: &[crate::space_tree::Region], on: bool| -> Vec<u32> {
+            if on {
+                rs.iter().map(|r| seed_digest(r.members.iter().copied())).collect()
+            } else {
+                Vec::new()
+            }
+        };
+        let mut digests = digest_all(&regions, prov.is_enabled());
         let mut out: Vec<Ipv6Addr> = Vec::with_capacity(cfg.budget);
         let mut seen: HashSet<u128> = HashSet::with_capacity(cfg.budget * 2);
         let mut all_hits: Vec<Ipv6Addr> = Vec::new();
@@ -115,6 +127,12 @@ impl TargetGenerator for SixHit {
                         .filter(|(_, &h)| h)
                         .map(|(&a, _)| a),
                 );
+                if prov.is_enabled() {
+                    let d = digests.get(i).copied().unwrap_or(0);
+                    for _ in 0..batch.len() {
+                        prov.push(i as u32, d, round.min(u16::MAX as usize) as u16);
+                    }
+                }
                 out.extend(batch);
             }
 
@@ -124,13 +142,14 @@ impl TargetGenerator for SixHit {
                 basis.extend(all_hits.iter().copied());
                 regions = build_regions(&basis, SplitStrategy::Leftmost, self.max_leaf, self.max_regions);
                 q = vec![0.0; regions.len()];
+                digests = digest_all(&regions, prov.is_enabled());
             }
             if !progressed {
                 break;
             }
         }
 
-        fill_budget_by_mutation(&mut out, &mut seen, seeds, cfg.budget, &mut rng);
+        fill_budget_by_mutation(&mut out, &mut seen, seeds, cfg.budget, &mut rng, prov);
         out
     }
 }

@@ -15,6 +15,7 @@ use std::net::Ipv6Addr;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use sos_probe::provenance::{seed_digest, ProvenanceLog};
 use sos_probe::ScanOracle;
 
 use crate::space_tree::{build_regions, SplitStrategy};
@@ -55,11 +56,12 @@ impl TargetGenerator for SixScan {
         TgaId::SixScan
     }
 
-    fn generate(
+    fn generate_tagged(
         &mut self,
         seeds: &[Ipv6Addr],
         cfg: &GenConfig,
         oracle: &mut dyn ScanOracle,
+        prov: &mut ProvenanceLog,
     ) -> Vec<Ipv6Addr> {
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x65ca);
         let regions = build_regions(seeds, SplitStrategy::Leftmost, self.max_leaf, self.max_regions);
@@ -68,6 +70,14 @@ impl TargetGenerator for SixScan {
         let mut reward = vec![0.0f64; n];
         let mut probes = vec![1.0f64; n];
         let mut exhausted = vec![false; n];
+        // Provenance: region ids are stable for the whole scan (they're
+        // what the packets carry), so member digests are computed once.
+        let digests: Vec<u32> = if prov.is_enabled() {
+            regions.iter().map(|r| seed_digest(r.members.iter().copied())).collect()
+        } else {
+            Vec::new()
+        };
+        let mut round = 0u16;
 
         let mut out: Vec<Ipv6Addr> = Vec::with_capacity(cfg.budget);
         let mut seen: HashSet<u128> = HashSet::with_capacity(cfg.budget * 2);
@@ -81,6 +91,7 @@ impl TargetGenerator for SixScan {
         });
 
         while out.len() < cfg.budget && !order.is_empty() {
+            round = round.saturating_add(1);
             // Drop exhausted regions from rotation, then rank the live
             // ones by observed reward rate, ε-greedy.
             order.retain(|&i| !exhausted[i]);
@@ -132,6 +143,12 @@ impl TargetGenerator for SixScan {
                     }
                 }
                 probes[idx] += batch.len() as f64; // idx < n
+                if prov.is_enabled() {
+                    let d = digests.get(idx).copied().unwrap_or(0);
+                    for _ in 0..batch.len() {
+                        prov.push(idx as u32, d, round);
+                    }
+                }
                 out.extend(batch.into_iter().map(|(a, _)| a));
             }
             if !progressed {
@@ -139,7 +156,7 @@ impl TargetGenerator for SixScan {
             }
         }
 
-        fill_budget_by_mutation(&mut out, &mut seen, seeds, cfg.budget, &mut rng);
+        fill_budget_by_mutation(&mut out, &mut seen, seeds, cfg.budget, &mut rng, prov);
         out
     }
 }

@@ -25,6 +25,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use dealias::{OnlineConfig, OnlineDealiaser};
+use sos_probe::provenance::{seed_digest, ProvenanceLog};
 use sos_probe::ScanOracle;
 use v6addr::{Prefix, PrefixSet};
 
@@ -177,11 +178,12 @@ impl TargetGenerator for SixSense {
         TgaId::SixSense
     }
 
-    fn generate(
+    fn generate_tagged(
         &mut self,
         seeds: &[Ipv6Addr],
         cfg: &GenConfig,
         oracle: &mut dyn ScanOracle,
+        prov: &mut ProvenanceLog,
     ) -> Vec<Ipv6Addr> {
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x65e5e);
 
@@ -192,6 +194,13 @@ impl TargetGenerator for SixSense {
         }
         let mut groups: Vec<(u128, Vec<Ipv6Addr>)> = by48.into_iter().collect();
         groups.sort_by_key(|(k, _)| *k); // HashMap order is unstable
+        // Provenance: arms are /48 sites and never rebuilt, so the arm
+        // index is stable; digest over the site's contributing seeds.
+        let digests: Vec<u32> = if prov.is_enabled() {
+            groups.iter().map(|(_, m)| seed_digest(m.iter().copied())).collect()
+        } else {
+            Vec::new()
+        };
         let mut arms: Vec<Arm> = groups.iter().map(|(_, m)| Arm::from_members(m)).collect();
 
         let mut dealiaser = OnlineDealiaser::new(OnlineConfig {
@@ -212,7 +221,9 @@ impl TargetGenerator for SixSense {
             ((self.arms_per_round as f64 * self.diversity_share).ceil() as usize).max(1);
         let ucb_slots = self.arms_per_round.saturating_sub(diversity_slots).max(1);
 
+        let mut round = 0u16;
         while out.len() < cfg.budget && !arms.is_empty() {
+            round = round.saturating_add(1);
             // Schedule: top-UCB arms + least-probed arms (diversity).
             let mut by_ucb: Vec<usize> = (0..arms.len()).collect();
             by_ucb.sort_by(|&a, &b| {
@@ -296,6 +307,12 @@ impl TargetGenerator for SixSense {
                 arms[idx].q = 0.4 * arms[idx].q + 0.6 * rate; // idx from order: < arms.len()
                 arms[idx].probes += batch.len() as f64;
                 total_probes += batch.len() as f64;
+                if prov.is_enabled() {
+                    let d = digests.get(idx).copied().unwrap_or(0);
+                    for _ in 0..batch.len() {
+                        prov.push(idx as u32, d, round);
+                    }
+                }
                 out.extend(batch);
             }
             if !progressed {
@@ -303,7 +320,7 @@ impl TargetGenerator for SixSense {
             }
         }
 
-        fill_budget_by_mutation(&mut out, &mut seen, seeds, cfg.budget, &mut rng);
+        fill_budget_by_mutation(&mut out, &mut seen, seeds, cfg.budget, &mut rng, prov);
         out
     }
 }

@@ -13,6 +13,7 @@ use std::net::Ipv6Addr;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use sos_probe::provenance::{seed_digest, ProvenanceLog};
 use sos_probe::ScanOracle;
 
 use crate::space_tree::{build_regions, Region, SplitStrategy};
@@ -42,45 +43,62 @@ impl Default for SixTree {
 /// Shared expansion routine for the offline tree family: walk regions in
 /// density order, exhaustively enumerating small ones and sampling large
 /// ones, until `budget` unique candidates exist.
+///
+/// Provenance: each emitted candidate is tagged with its region's index
+/// in density order, a digest of the region's member seeds, and the
+/// expansion pass (0 = quota pass, 1.. = round-robin passes). The log is
+/// write-only from the emit path, so tagging cannot perturb the stream.
 pub(crate) fn expand_regions(
     regions: &mut [Region],
     seeds: &[Ipv6Addr],
     budget: usize,
     explore: f64,
     rng: &mut SmallRng,
+    prov: &mut ProvenanceLog,
 ) -> Vec<Ipv6Addr> {
     regions.sort_by(|a, b| b.density().total_cmp(&a.density()));
     let total_seeds: usize = regions.iter().map(|r| r.seed_count).sum::<usize>().max(1);
+    let digests: Vec<u32> = if prov.is_enabled() {
+        regions.iter().map(|r| seed_digest(r.members.iter().copied())).collect()
+    } else {
+        Vec::new()
+    };
+    let digest_of = |i: usize| digests.get(i).copied().unwrap_or(0);
 
     let mut out: Vec<Ipv6Addr> = Vec::with_capacity(budget);
     let mut seen: HashSet<u128> = HashSet::with_capacity(budget * 2);
 
     // Pass 1: density-proportional quotas.
-    for r in regions.iter() {
+    for (ri, r) in regions.iter().enumerate() {
         if out.len() >= budget {
             break;
         }
         let quota = ((budget * r.seed_count) / total_seeds).max(4);
         let quota = quota.min(budget - out.len());
-        emit_from_region(r, quota, explore, rng, &mut out, &mut seen);
+        emit_from_region(r, quota, explore, rng, &mut out, &mut seen, prov, ri as u32, digest_of(ri), 0);
     }
     // Pass 2: round-robin over the densest regions for leftover budget.
     let mut pass = 0;
     while out.len() < budget && pass < 8 {
         pass += 1;
-        for r in regions.iter().take(512) {
+        for (ri, r) in regions.iter().take(512).enumerate() {
             if out.len() >= budget {
                 break;
             }
             let quota = ((budget - out.len()) / 64).clamp(1, 256);
-            emit_from_region(r, quota, (explore * 2.0).min(0.5), rng, &mut out, &mut seen);
+            emit_from_region(
+                r, quota, (explore * 2.0).min(0.5), rng, &mut out, &mut seen,
+                prov, ri as u32, digest_of(ri), pass as u16,
+            );
         }
     }
-    fill_budget_by_mutation(&mut out, &mut seen, seeds, budget, rng);
+    fill_budget_by_mutation(&mut out, &mut seen, seeds, budget, rng, prov);
     out
 }
 
-/// Emit up to `quota` fresh addresses from one region.
+/// Emit up to `quota` fresh addresses from one region, tagging each with
+/// `(region, digest, round)` provenance.
+#[allow(clippy::too_many_arguments)]
 fn emit_from_region(
     r: &Region,
     quota: usize,
@@ -88,6 +106,10 @@ fn emit_from_region(
     rng: &mut SmallRng,
     out: &mut Vec<Ipv6Addr>,
     seen: &mut HashSet<u128>,
+    prov: &mut ProvenanceLog,
+    region: u32,
+    digest: u32,
+    round: u16,
 ) {
     if quota == 0 {
         return;
@@ -99,6 +121,7 @@ fn emit_from_region(
             for a in r.enumerate(quota * 4) {
                 if seen.insert(u128::from(a)) {
                     out.push(a);
+                    prov.push(region, digest, round);
                     emitted += 1;
                     if emitted >= quota {
                         break;
@@ -113,6 +136,7 @@ fn emit_from_region(
                 let a = r.sample(rng, explore);
                 if seen.insert(u128::from(a)) {
                     out.push(a);
+                    prov.push(region, digest, round);
                     emitted += 1;
                     stale = 0;
                 } else {
@@ -128,15 +152,16 @@ impl TargetGenerator for SixTree {
         TgaId::SixTree
     }
 
-    fn generate(
+    fn generate_tagged(
         &mut self,
         seeds: &[Ipv6Addr],
         cfg: &GenConfig,
         _oracle: &mut dyn ScanOracle,
+        prov: &mut ProvenanceLog,
     ) -> Vec<Ipv6Addr> {
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x67ee);
         let mut regions = build_regions(seeds, SplitStrategy::Leftmost, self.max_leaf, self.max_regions);
-        expand_regions(&mut regions, seeds, cfg.budget, self.explore, &mut rng)
+        expand_regions(&mut regions, seeds, cfg.budget, self.explore, &mut rng, prov)
     }
 }
 

@@ -16,6 +16,7 @@ use std::net::Ipv6Addr;
 use netmodel::Protocol;
 use sos_core::study::DatasetKind;
 use sos_core::{Study, StudyConfig};
+use sos_probe::provenance::{seed_digest, ProvenanceLog};
 use sos_probe::ScanOracle;
 use tga::{GenConfig, TargetGenerator, TgaId};
 
@@ -29,22 +30,27 @@ impl TargetGenerator for LastByte {
         TgaId::SixGen
     }
 
-    fn generate(
+    fn generate_tagged(
         &mut self,
         seeds: &[Ipv6Addr],
         cfg: &GenConfig,
         _oracle: &mut dyn ScanOracle,
+        prov: &mut ProvenanceLog,
     ) -> Vec<Ipv6Addr> {
         let mut prefixes: Vec<u128> = seeds.iter().map(|&s| u128::from(s) >> 64).collect();
         prefixes.sort_unstable();
         prefixes.dedup();
+        // Provenance: each seed /64 is a region; the sweep byte is the
+        // round. Tagging is free when the log is disabled.
+        let digest = if prov.is_enabled() { seed_digest(seeds.iter().copied()) } else { 0 };
         let mut out = Vec::with_capacity(cfg.budget);
         let mut seen: HashSet<u128> = HashSet::with_capacity(cfg.budget * 2);
         'outer: for byte in 0u128..=0xff {
-            for &p in &prefixes {
+            for (pi, &p) in prefixes.iter().enumerate() {
                 let bits = (p << 64) | byte;
                 if seen.insert(bits) {
                     out.push(Ipv6Addr::from(bits));
+                    prov.push(pi as u32, digest, byte as u16);
                     if out.len() >= cfg.budget {
                         break 'outer;
                     }
