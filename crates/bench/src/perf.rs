@@ -112,9 +112,17 @@ pub fn suite(cfg: &PerfConfig) -> Vec<(String, Box<dyn FnMut() + '_>)> {
     let study = bench_study();
     let mut benches: Vec<(String, Box<dyn FnMut() + '_>)> = Vec::new();
 
-    // Each TGA's generation over the bench study's active seeds.
+    // Each TGA's generation over the bench study's active seeds. Quick
+    // mode halves the seed set as well as the budget: several generators
+    // (6Graph's seed graph, `build_regions`) are dominated by per-seed
+    // setup, and the CI quick-vs-full tripwire needs quick medians to sit
+    // clearly below the committed full-mode baselines.
     let budget = if cfg.quick { 400 } else { 1500 };
-    let seeds: Vec<Ipv6Addr> = study.pipeline().all_active.clone();
+    let seeds: Vec<Ipv6Addr> = if cfg.quick {
+        study.pipeline().all_active.iter().copied().step_by(2).collect()
+    } else {
+        study.pipeline().all_active.clone()
+    };
     for id in TgaId::ALL {
         let seeds = seeds.clone();
         benches.push((
@@ -143,6 +151,49 @@ pub fn suite(cfg: &PerfConfig) -> Vec<(String, Box<dyn FnMut() + '_>)> {
                 let mut prov = sos_probe::provenance::ProvenanceLog::recording(id.code());
                 let out = tga::build(id).generate_tagged(&seeds, &gen_cfg, &mut oracle, &mut prov);
                 assert_eq!(prov.len(), out.len());
+            }),
+        ));
+    }
+
+    // Multi-worker generation fan-out (`tga::parallel`): the same
+    // 6Scan/DET workload at 1, 4, and 8 workers over a larger budget (so
+    // the per-round fan-out has enough units to fill the lanes). The
+    // candidate streams are bit-identical across the trio (W-invariance),
+    // so the medians read directly as parallel speedup.
+    let par_budget = if cfg.quick { 600 } else { 4000 };
+    for id in [TgaId::SixScan, TgaId::Det] {
+        for workers in [1usize, 4, 8] {
+            let seeds = seeds.clone();
+            benches.push((
+                format!("gen/{}_par_{}", id.label().to_lowercase(), workers),
+                Box::new(move || {
+                    let mut oracle = bench_study().scanner(0x9e0f ^ id as u64);
+                    let gen_cfg = GenConfig::new(par_budget, 0xBE7C ^ id as u64, Protocol::Icmp)
+                        .with_workers(workers);
+                    let out = tga::build(id).generate(&seeds, &gen_cfg, &mut oracle);
+                    assert!(!out.is_empty() && out.len() <= par_budget);
+                }),
+            ));
+        }
+    }
+
+    // Parallel space-tree construction over the active seed set — the
+    // second generation cost center (DET rebuilds its tree online). The
+    // frontier-expansion prefix costs roughly the same at any seed count,
+    // so quick mode quarters the seeds (on top of the halving above) to
+    // keep its median clearly under the full-mode baseline.
+    {
+        let seeds: Vec<Ipv6Addr> = if cfg.quick {
+            seeds.iter().copied().step_by(2).collect()
+        } else {
+            seeds.clone()
+        };
+        benches.push((
+            "gen/build_regions".to_string(),
+            Box::new(move || {
+                let regions =
+                    tga::build_regions_par(&seeds, tga::SplitStrategy::MinEntropy, 16, 1 << 16, 4);
+                assert!(!regions.is_empty());
             }),
         ));
     }
@@ -555,10 +606,17 @@ mod tests {
     #[test]
     fn suite_names_are_stable_and_prefixed() {
         let names = bench_names(&PerfConfig::quick());
-        assert!(names.len() >= 19, "9 gen + 7 probe + 2 dealias + 2 trie");
+        assert!(names.len() >= 26, "16 gen + 7 probe + 2 dealias + 2 trie");
         for shards in [1, 4, 8] {
             assert!(names.contains(&format!("probe/scan_parallel_{shards}")));
         }
+        // The generation fan-out trios (W-invariant streams, so medians
+        // read as parallel speedup) plus the tree-build benchmark.
+        for workers in [1, 4, 8] {
+            assert!(names.contains(&format!("gen/6scan_par_{workers}")));
+            assert!(names.contains(&format!("gen/det_par_{workers}")));
+        }
+        assert!(names.contains(&"gen/build_regions".to_string()));
         // The telemetry-overhead pair: identical campaign workloads, the
         // second with the journal + snapshot writers armed.
         assert!(names.contains(&"probe/campaign_8".to_string()));

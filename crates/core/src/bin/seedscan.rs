@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! seedscan <experiment> [--scale tiny|small|study] [--seed N] [--budget N]
-//!          [--threads N] [--scan-shards N] [--faults PRESET] [--breaker]
+//!          [--threads N] [--scan-shards N] [--gen-workers N]
+//!          [--faults PRESET] [--breaker]
 //!          [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
 //!          [--stop-after N] [--journal FILE] [--snapshot-every N]
 //!          [--manifest FILE] [--trace FILE] [--flame FILE]
@@ -31,7 +32,12 @@
 //! than silently normalized (the engine's `TokenBucket::split` and the
 //! scan pipeline clamp internal shard counts with `.max(1)`, but a user
 //! asking for zero shards is a configuration mistake, not a request for
-//! the sequential path). `--faults` selects a deterministic hostile-world
+//! the sequential path). `--gen-workers` follows the same rule and fans
+//! out 6Scan/DET generation rounds across worker threads; candidate
+//! streams are bit-identical at any worker count (W-invariance, see the
+//! README's "Parallel generation"), so like `--scan-shards` it only buys
+//! wall clock. Both default to `--threads` when given, else 1.
+//! `--faults` selects a deterministic hostile-world
 //! preset (off, bursty, ratelimited, blackholes, throttled, hostile) baked
 //! into the world model; `--breaker` arms per-/48 circuit breakers;
 //! `--checkpoint FILE` + `--checkpoint-every N` write a resumable JSON
@@ -85,6 +91,7 @@ struct Args {
     budget: Option<usize>,
     threads: Option<usize>,
     scan_shards: Option<usize>,
+    gen_workers: Option<usize>,
     faults: Option<String>,
     breaker: bool,
     checkpoint: Option<String>,
@@ -106,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
         budget: None,
         threads: None,
         scan_shards: None,
+        gen_workers: None,
         faults: None,
         breaker: false,
         checkpoint: None,
@@ -159,6 +167,20 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.scan_shards = Some(n)
             }
+            "--gen-workers" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--gen-workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?;
+                if n == 0 {
+                    return Err(
+                        "--gen-workers must be >= 1 (use 1 for sequential generation)"
+                            .to_string(),
+                    );
+                }
+                args.gen_workers = Some(n)
+            }
             "--faults" => args.faults = Some(it.next().ok_or("--faults needs a value")?),
             "--breaker" => args.breaker = true,
             "--checkpoint" => args.checkpoint = Some(it.next().ok_or("--checkpoint needs a value")?),
@@ -205,7 +227,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() {
     eprintln!(
         "usage: seedscan <experiment> [--scale tiny|small|study] [--seed N] [--budget N]\n\
-         \u{20}                [--threads N] [--scan-shards N] [--faults PRESET] [--breaker]\n\
+         \u{20}                [--threads N] [--scan-shards N] [--gen-workers N] [--faults PRESET] [--breaker]\n\
          \u{20}                [--checkpoint FILE] [--checkpoint-every N] [--resume FILE] [--stop-after N]\n\
          \u{20}                [--journal FILE] [--snapshot-every N]\n\
          \u{20}                [--manifest FILE] [--trace FILE] [--flame FILE]\n\
@@ -380,6 +402,9 @@ fn main() -> ExitCode {
     // Scan sharding follows `--threads` unless `--scan-shards` says
     // otherwise; either way results are bit-identical to shards = 1.
     cfg.scan_shards = args.scan_shards.or(args.threads).unwrap_or(cfg.scan_shards).max(1);
+    // Generation fan-out likewise follows `--threads` unless
+    // `--gen-workers` overrides; candidate streams are W-invariant.
+    cfg.gen_workers = args.gen_workers.or(args.threads).unwrap_or(cfg.gen_workers).max(1);
     let fault_preset = args.faults.clone().unwrap_or_else(|| "off".to_string());
     match netmodel::FaultConfig::preset(&fault_preset) {
         Some(f) => cfg.world.faults = f,
@@ -401,6 +426,7 @@ fn main() -> ExitCode {
         m.config("budget", cfg.budget);
         m.config("threads", cfg.effective_threads());
         m.config("scan_shards", cfg.scan_shards);
+        m.config("gen_workers", cfg.gen_workers);
         m.config("scan_retries", cfg.scan_retries);
         m.config("gen_seed", cfg.gen_seed);
         m.config("faults", fault_preset.as_str());

@@ -22,6 +22,11 @@ pub struct StudyConfig {
     /// 1 the sequential wire path runs; results are bit-identical either
     /// way, the shards only split the pps budget and the wall clock.
     pub scan_shards: usize,
+    /// Worker threads for within-round TGA generation fan-out
+    /// (`tga::parallel`, 6Scan/DET). Candidate streams are bit-identical
+    /// at any value (W-invariance) — like `scan_shards`, this only buys
+    /// wall clock.
+    pub gen_workers: usize,
     /// Run independent (tga × port) experiment cells on worker threads.
     pub parallel: bool,
     /// Explicit worker-thread count for experiment grids (`--threads`).
@@ -41,6 +46,7 @@ impl StudyConfig {
             gen_seed: seed ^ 0x9e4,
             scan_retries: 1,
             scan_shards: 1,
+            gen_workers: 1,
             parallel: true,
             threads: None,
         }

@@ -47,7 +47,8 @@ pub fn run_tga(
 ) -> RunResult {
     let mut generator = tga::build(id);
     let mut oracle = study.scanner(salt ^ 0x9e0);
-    let cfg = GenConfig::new(budget, study.config().gen_seed ^ salt, proto);
+    let cfg = GenConfig::new(budget, study.config().gen_seed ^ salt, proto)
+        .with_workers(study.config().gen_workers);
     let mut prov = ProvenanceLog::recording(id.code());
     let generated = generator.generate_tagged(seed_list, &cfg, &mut oracle, &mut prov);
     let gen_packets = sos_probe::ScanOracle::packets_sent(&oracle);

@@ -177,6 +177,9 @@ impl Default for Config {
                 "crates/probe/src/sim.rs",
                 "crates/probe/src/campaign.rs",
                 "crates/netmodel/src/faults.rs",
+                // generation fan-out: per-unit RNG streams must derive
+                // from the run seed (W-invariance), never ambient entropy
+                "crates/tga/src/parallel.rs",
             ]
             .map(String::from)
             .to_vec(),
@@ -795,6 +798,13 @@ mod tests {
         assert!(find("crates/netmodel/src/faults.rs", seeded).is_empty());
         let in_tests = "#[cfg(test)]\nmod tests { fn t() { let _ = rand::thread_rng(); } }";
         assert!(find("crates/probe/src/sim.rs", in_tests).is_empty(), "tests may use entropy");
+        // generation fan-out is covered too: worker RNG streams must come
+        // from the run seed (W-invariance), never ambient entropy
+        let fs = find("crates/tga/src/parallel.rs", src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "det-fault-entropy");
+        let derived = "fn unit_rng(stream: u64) -> SmallRng { SmallRng::seed_from_u64(stream) }";
+        assert!(find("crates/tga/src/parallel.rs", derived).is_empty());
     }
 
     #[test]

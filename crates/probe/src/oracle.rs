@@ -14,18 +14,31 @@ use crate::engine::{ProbeOutcome, Scanner};
 use crate::transport::Transport;
 
 /// Probe-and-report feedback used by online TGAs and dealiasers.
+///
+/// # Length contract
+///
+/// The batch methods ([`Self::probe_batch`], [`Self::probe_tagged`]) must
+/// return **exactly one element per input target**, in input order.
+/// Callers (the online TGAs' reward loops) enforce this with a debug
+/// assertion; in release builds a malformed implementation is tolerated
+/// deterministically — missing entries are treated as unanswered probes
+/// and extra entries are ignored — but it is a bug in the oracle, never
+/// something to rely on.
 pub trait ScanOracle {
     /// Probe a single address; true iff it is a hit (§4.1 rules).
     fn probe(&mut self, addr: Ipv6Addr, proto: Protocol) -> bool;
 
-    /// Probe a batch; element `i` reports `addrs[i]`.
+    /// Probe a batch; element `i` reports `addrs[i]`. Implementations
+    /// must return exactly `addrs.len()` elements (see the trait-level
+    /// length contract).
     fn probe_batch(&mut self, addrs: &[Ipv6Addr], proto: Protocol) -> Vec<bool> {
         addrs.iter().map(|&a| self.probe(a, proto)).collect()
     }
 
     /// Probe with 6Scan-style region tags. Returns `(hit, echoed_region)` —
     /// the region comes back *in the response packet*, not from local
-    /// bookkeeping.
+    /// bookkeeping. Implementations must return exactly `targets.len()`
+    /// elements (see the trait-level length contract).
     fn probe_tagged(
         &mut self,
         targets: &[(Ipv6Addr, u32)],

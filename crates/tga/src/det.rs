@@ -22,15 +22,36 @@ use rand::SeedableRng;
 use sos_probe::provenance::{seed_digest, ProvenanceLog};
 use sos_probe::ScanOracle;
 
-use crate::space_tree::{build_regions, Region, SplitStrategy};
-use crate::{fill_budget_by_mutation, GenConfig, TargetGenerator, TgaId};
+use crate::parallel::{commit_proposals, sample_regions_par, stream_seed, SampleUnit};
+use crate::space_tree::{build_regions_par, Region, SplitStrategy};
+use crate::{clamp_round, fill_budget_by_mutation, GenConfig, TargetGenerator, TgaId};
 
 /// Bandit state per tree leaf.
 #[derive(Debug, Clone)]
 struct Arm {
     region: Region,
+    /// Member digest, cached at build/rebuild time: it is pushed per
+    /// emitted address and feeds the per-unit RNG streams, and hashing
+    /// `region.members` anew for every batch was O(|members|) work in the
+    /// inner loop. Widening keeps `members` untouched, so the cache stays
+    /// valid for the arm's whole life.
+    digest: u32,
     probes: f64,
     q: f64,
+}
+
+/// Build the bandit arms over a seed basis (initial tree and every
+/// online rebuild), digesting each leaf's members exactly once.
+fn arms_over(basis: &[Ipv6Addr], max_leaf: usize, max_regions: usize, workers: usize) -> Vec<Arm> {
+    build_regions_par(basis, SplitStrategy::MinEntropy, max_leaf, max_regions, workers)
+        .into_iter()
+        .map(|region| Arm {
+            digest: seed_digest(region.members.iter().copied()),
+            region,
+            probes: 0.0,
+            q: 0.0,
+        })
+        .collect()
 }
 
 impl Arm {
@@ -96,14 +117,7 @@ impl TargetGenerator for Det {
         prov: &mut ProvenanceLog,
     ) -> Vec<Ipv6Addr> {
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xde7);
-        let mut arms: Vec<Arm> = build_regions(seeds, SplitStrategy::MinEntropy, self.max_leaf, self.max_regions)
-            .into_iter()
-            .map(|region| Arm {
-                region,
-                probes: 0.0,
-                q: 0.0,
-            })
-            .collect();
+        let mut arms: Vec<Arm> = arms_over(seeds, self.max_leaf, self.max_regions, cfg.workers);
 
         let mut out: Vec<Ipv6Addr> = Vec::with_capacity(cfg.budget);
         let mut seen: HashSet<u128> = HashSet::with_capacity(cfg.budget * 2);
@@ -122,37 +136,48 @@ impl TargetGenerator for Det {
                 eprintln!("[det] round {round} out {} arms {}", out.len(), arms.len());
             }
             // Rank leaves by UCB score; probe the top slice this round.
+            // Scores are computed once per arm (the sort used to call
+            // `ucb` inside the comparator — O(n log n) recomputation).
+            let scores: Vec<f64> =
+                arms.iter().map(|a| a.ucb(total_probes, self.ucb_c)).collect();
             let mut order: Vec<usize> = (0..arms.len()).collect();
-            order.sort_by(|&a, &b| {
-                arms[b] // a, b < arms.len(): order covers 0..arms.len()
-                    .ucb(total_probes, self.ucb_c)
-                    .total_cmp(&arms[a].ucb(total_probes, self.ucb_c)) // a < arms.len()
-            });
+            order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a])); // a, b < arms.len() == scores.len()
+            order.truncate(self.arms_per_round);
+            // Phase 1: every selected arm samples in parallel against the
+            // round-start `seen`, each from its own (arm digest, round,
+            // slot)-derived stream — worker-count-invariant by design.
+            let units: Vec<SampleUnit<'_>> = order
+                .iter()
+                .enumerate()
+                .map(|(slot, &idx)| {
+                    let arm = &arms[idx]; // idx from order: < arms.len()
+                    SampleUnit {
+                        region: &arm.region,
+                        want: self.batch,
+                        explore: self.explore,
+                        stream: stream_seed(cfg.seed ^ 0xde7, arm.digest, round, slot),
+                    }
+                })
+                .collect();
+            let proposals = sample_regions_par(&units, &seen, cfg.workers);
+            drop(units); // release the arms borrow before the commit mutates them
+            // Phase 2: sequential commit in slot order.
             let mut progressed = false;
-            for &idx in order.iter().take(self.arms_per_round) {
+            for (slot, proposal) in proposals.iter().enumerate() {
                 if out.len() >= cfg.budget {
                     break;
                 }
-                let want = self.batch.min(cfg.budget - out.len());
-                let mut batch: Vec<Ipv6Addr> = Vec::with_capacity(want);
-                let mut stale = 0;
-                while batch.len() < want && stale < want * 8 + 16 {
-                    let a = arms[idx].region.sample(&mut rng, self.explore); // idx from order: < arms.len()
-                    if seen.insert(u128::from(a)) {
-                        batch.push(a);
-                        stale = 0;
-                    } else {
-                        stale += 1;
-                    }
-                }
-                if batch.is_empty() {
-                    // Leaf exhausted: expand its variable dimensions
-                    // upward (DET keeps probing outward from productive
-                    // structure); retire only when expansion hits the
-                    // routing prefix. Widen twice — after a tree rebuild
-                    // the tight new leaves largely overlap already-seen
-                    // space, and one dimension of headroom drains in a
-                    // single batch.
+                let idx = order[slot]; // slot < order.len() == proposals.len()
+                if proposal.is_empty() {
+                    // Leaf exhausted (decided on the worker-invariant
+                    // proposal, not the commit): expand its variable
+                    // dimensions upward (DET keeps probing outward from
+                    // productive structure); retire only when expansion
+                    // hits the routing prefix. Widen twice — after a tree
+                    // rebuild the tight new leaves largely overlap
+                    // already-seen space, and one dimension of headroom
+                    // drains in a single batch. Widening leaves `members`
+                    // (hence the cached digest) unchanged.
                     match arms[idx].region.widened().and_then(|w| w.widened().or(Some(w))) {
                         Some(w) => {
                             arms[idx].region = w; // idx from order: < arms.len()
@@ -162,9 +187,22 @@ impl TargetGenerator for Det {
                     }
                     continue;
                 }
+                let batch = commit_proposals(proposal, &mut seen, cfg.budget - out.len());
+                if batch.is_empty() {
+                    continue; // cross-slot collisions only — not a dead leaf
+                }
                 progressed = true;
                 let results = oracle.probe_batch(&batch, cfg.proto);
-                let hits = results.iter().filter(|&&h| h).count();
+                debug_assert_eq!(
+                    results.len(),
+                    batch.len(),
+                    "ScanOracle::probe_batch length contract: {} results for {} targets",
+                    results.len(),
+                    batch.len()
+                );
+                // Release-build tolerance for a malformed oracle: missing
+                // entries count as unanswered probes, extras are ignored.
+                let hits = results.iter().take(batch.len()).filter(|&&h| h).count();
                 let rate = hits as f64 / batch.len() as f64;
                 arms[idx].q = 0.4 * arms[idx].q + 0.6 * rate; // idx from order: < arms.len()
                 arms[idx].probes += batch.len() as f64;
@@ -182,9 +220,9 @@ impl TargetGenerator for Det {
                 // the stable identity across tree updates.
                 if prov.is_enabled() {
                     // idx < arms.len(): the bandit drew it over `arms`
-                    let d = seed_digest(arms[idx].region.members.iter().copied());
+                    let d = arms[idx].digest;
                     for _ in 0..batch.len() {
-                        prov.push(idx as u32, d, round.min(u16::MAX as usize) as u16);
+                        prov.push(idx as u32, d, clamp_round(round));
                     }
                 }
                 out.extend(batch);
@@ -207,10 +245,7 @@ impl TargetGenerator for Det {
                     all_hits.append(&mut fresh_hits);
                     let mut basis: Vec<Ipv6Addr> = seeds.to_vec();
                     basis.extend(all_hits.iter().copied());
-                    arms = build_regions(&basis, SplitStrategy::MinEntropy, self.max_leaf, self.max_regions)
-                        .into_iter()
-                        .map(|region| Arm { region, probes: 0.0, q: 0.0 })
-                        .collect();
+                    arms = arms_over(&basis, self.max_leaf, self.max_regions, cfg.workers);
                     total_probes = 0.0;
                 }
             }

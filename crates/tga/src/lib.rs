@@ -21,6 +21,7 @@
 
 pub mod det;
 pub mod entropy_ip;
+pub mod parallel;
 pub mod pattern;
 pub mod six_gen;
 pub mod six_graph;
@@ -31,7 +32,7 @@ pub mod six_tree;
 pub mod space_tree;
 
 pub use pattern::{Pattern, ValueHist};
-pub use space_tree::{Region, SplitStrategy};
+pub use space_tree::{build_regions_par, Region, SplitStrategy};
 
 use std::net::Ipv6Addr;
 
@@ -127,13 +128,32 @@ pub struct GenConfig {
     pub seed: u64,
     /// The scan target online generators adapt to.
     pub proto: Protocol,
+    /// Worker threads for within-round generation fan-out
+    /// ([`parallel`]). The candidate stream is bit-identical at any
+    /// value (W-invariance); this only buys wall-clock.
+    pub workers: usize,
 }
 
 impl GenConfig {
-    /// Convenience constructor.
+    /// Convenience constructor (single-worker generation).
     pub fn new(budget: usize, seed: u64, proto: Protocol) -> Self {
-        GenConfig { budget, seed, proto }
+        GenConfig { budget, seed, proto, workers: 1 }
     }
+
+    /// Set the generation worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// Clamp a generation round counter into the `u16` provenance birth-round
+/// field. Every TGA records rounds through this one helper, so
+/// long-budget runs that pass 65 535 rounds saturate identically
+/// everywhere instead of mixing `u16::saturating_add` (6Scan, formerly)
+/// with ad-hoc `usize` clamps (DET, formerly).
+pub fn clamp_round(round: usize) -> u16 {
+    round.min(u16::MAX as usize) as u16
 }
 
 /// A target generation algorithm.
@@ -372,6 +392,23 @@ mod tests {
         }
         assert_eq!(TgaId::from_code(8), None);
         assert_eq!(TgaId::from_code(sos_probe::SOURCE_TARGETS), None);
+    }
+
+    #[test]
+    fn clamp_round_saturates_exactly_at_the_u16_boundary() {
+        assert_eq!(clamp_round(0), 0);
+        assert_eq!(clamp_round(65534), 65534);
+        assert_eq!(clamp_round(65535), u16::MAX, "boundary value is representable");
+        assert_eq!(clamp_round(65536), u16::MAX, "first overflow saturates");
+        assert_eq!(clamp_round(usize::MAX), u16::MAX);
+    }
+
+    #[test]
+    fn gen_config_workers_default_and_clamp() {
+        let cfg = GenConfig::new(10, 1, netmodel::Protocol::Icmp);
+        assert_eq!(cfg.workers, 1, "sequential by default");
+        assert_eq!(cfg.with_workers(8).workers, 8);
+        assert_eq!(cfg.with_workers(0).workers, 1, "0 clamps to 1");
     }
 
     #[test]

@@ -18,8 +18,9 @@ use rand::{Rng, SeedableRng};
 use sos_probe::provenance::{seed_digest, ProvenanceLog};
 use sos_probe::ScanOracle;
 
-use crate::space_tree::{build_regions, SplitStrategy};
-use crate::{fill_budget_by_mutation, GenConfig, TargetGenerator, TgaId};
+use crate::parallel::{commit_proposals, sample_regions_par, stream_seed, SampleUnit};
+use crate::space_tree::{build_regions_par, SplitStrategy};
+use crate::{clamp_round, fill_budget_by_mutation, GenConfig, TargetGenerator, TgaId};
 
 /// The 6Scan generator.
 #[derive(Debug, Clone)]
@@ -64,20 +65,20 @@ impl TargetGenerator for SixScan {
         prov: &mut ProvenanceLog,
     ) -> Vec<Ipv6Addr> {
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x65ca);
-        let regions = build_regions(seeds, SplitStrategy::Leftmost, self.max_leaf, self.max_regions);
+        let regions =
+            build_regions_par(seeds, SplitStrategy::Leftmost, self.max_leaf, self.max_regions, cfg.workers);
         let n = regions.len();
         // Reward (echoed-tag credits) and probe counts per region id.
         let mut reward = vec![0.0f64; n];
         let mut probes = vec![1.0f64; n];
         let mut exhausted = vec![false; n];
-        // Provenance: region ids are stable for the whole scan (they're
-        // what the packets carry), so member digests are computed once.
-        let digests: Vec<u32> = if prov.is_enabled() {
-            regions.iter().map(|r| seed_digest(r.members.iter().copied())).collect()
-        } else {
-            Vec::new()
-        };
-        let mut round = 0u16;
+        // Region member digests feed both the provenance tags and the
+        // per-unit RNG stream derivation, so they are computed once,
+        // unconditionally (region ids are stable for the whole scan —
+        // they're what the packets carry).
+        let digests: Vec<u32> =
+            regions.iter().map(|r| seed_digest(r.members.iter().copied())).collect();
+        let mut round = 0usize;
 
         let mut out: Vec<Ipv6Addr> = Vec::with_capacity(cfg.budget);
         let mut seen: HashSet<u128> = HashSet::with_capacity(cfg.budget * 2);
@@ -91,7 +92,7 @@ impl TargetGenerator for SixScan {
         });
 
         while out.len() < cfg.budget && !order.is_empty() {
-            round = round.saturating_add(1);
+            round += 1;
             // Drop exhausted regions from rotation, then rank the live
             // ones by observed reward rate, ε-greedy.
             order.retain(|&i| !exhausted[i]);
@@ -102,38 +103,68 @@ impl TargetGenerator for SixScan {
                 (reward[b] / probes[b]) // a, b < n: reward/probes sized n
                     .total_cmp(&(reward[a] / probes[a]))
             });
+            // Slot selection runs up front on the round RNG, making each
+            // region batch an independent unit of work; sampling itself
+            // draws from per-(region, round, slot) streams, so the fan-out
+            // below is worker-count-invariant.
+            let slots = self.regions_per_round.min(order.len());
+            let picks: Vec<usize> = (0..slots)
+                .map(|slot| {
+                    if rng.gen_bool(self.epsilon) {
+                        order[rng.gen_range(0..order.len())]
+                    } else {
+                        order[slot.min(order.len() - 1)] // slot < slots <= order.len()
+                    }
+                })
+                .collect();
+            let units: Vec<SampleUnit<'_>> = picks
+                .iter()
+                .enumerate()
+                .map(|(slot, &idx)| SampleUnit {
+                    region: &regions[idx], // idx from order: < n
+                    want: self.batch,
+                    explore: self.explore,
+                    stream: stream_seed(cfg.seed ^ 0x65ca, digests[idx], round, slot), // idx < n
+                })
+                .collect();
+            // Phase 1: parallel proposals against the round-start `seen`.
+            let proposals = sample_regions_par(&units, &seen, cfg.workers);
+            // Phase 2: sequential commit in slot order.
             let mut progressed = false;
-            for slot in 0..self.regions_per_round.min(order.len()) {
+            for (slot, proposal) in proposals.iter().enumerate() {
                 if out.len() >= cfg.budget {
                     break;
                 }
-                let idx = if rng.gen_bool(self.epsilon) {
-                    order[rng.gen_range(0..order.len())]
-                } else {
-                    order[slot.min(order.len() - 1)]
-                };
-                if exhausted[idx] { // idx from order: < n
-                    continue; // an ε pick may race a same-round exhaustion
+                let idx = picks[slot]; // slot < picks.len() == proposals.len()
+                if exhausted[idx] { // idx < n
+                    continue; // an ε repeat of a region exhausted earlier this round
                 }
-                let want = self.batch.min(cfg.budget - out.len());
-                let mut batch: Vec<(Ipv6Addr, u32)> = Vec::with_capacity(want);
-                let mut stale = 0;
-                while batch.len() < want && stale < want * 8 + 16 {
-                    let a = regions[idx].sample(&mut rng, self.explore); // idx < n
-                    if seen.insert(u128::from(a)) {
-                        batch.push((a, idx as u32));
-                        stale = 0;
-                    } else {
-                        stale += 1;
-                    }
-                }
-                if batch.is_empty() {
+                if proposal.is_empty() {
+                    // Exhaustion keys off the *proposal* (worker-invariant),
+                    // not the commit: an empty commit below is just a
+                    // cross-slot collision, not a dead region.
                     exhausted[idx] = true; // idx < n
                     continue;
                 }
+                let committed = commit_proposals(proposal, &mut seen, cfg.budget - out.len());
+                if committed.is_empty() {
+                    continue;
+                }
+                let batch: Vec<(Ipv6Addr, u32)> =
+                    committed.iter().map(|&a| (a, idx as u32)).collect();
                 progressed = true;
                 // Reward comes exclusively from tags echoed in responses.
-                for (hit, tag) in oracle.probe_tagged(&batch, cfg.proto) {
+                let results = oracle.probe_tagged(&batch, cfg.proto);
+                debug_assert_eq!(
+                    results.len(),
+                    batch.len(),
+                    "ScanOracle::probe_tagged length contract: {} results for {} targets",
+                    results.len(),
+                    batch.len()
+                );
+                // Release-build tolerance for a malformed oracle: missing
+                // entries count as unanswered probes, extras are ignored.
+                for &(hit, tag) in results.iter().take(batch.len()) {
                     if hit {
                         if let Some(region_id) = tag {
                             if (region_id as usize) < n {
@@ -146,10 +177,10 @@ impl TargetGenerator for SixScan {
                 if prov.is_enabled() {
                     let d = digests.get(idx).copied().unwrap_or(0);
                     for _ in 0..batch.len() {
-                        prov.push(idx as u32, d, round);
+                        prov.push(idx as u32, d, clamp_round(round));
                     }
                 }
-                out.extend(batch.into_iter().map(|(a, _)| a));
+                out.extend(committed);
             }
             if !progressed {
                 break;

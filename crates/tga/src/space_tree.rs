@@ -62,13 +62,14 @@ impl Region {
 
     /// Sample one candidate address: free positions drawn from the
     /// region's histograms with exploration probability `explore`.
+    /// (Values land in a stack buffer — this runs once per candidate on
+    /// the generation hot path, so no per-call heap allocation.)
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, explore: f64) -> Ipv6Addr {
-        let values: Vec<u8> = self
-            .hists
-            .iter()
-            .map(|(_, h)| h.sample(rng, explore))
-            .collect();
-        self.pattern.materialize(&values)
+        let mut values = [0u8; NYBBLES];
+        for (i, (_, h)) in self.hists.iter().enumerate() {
+            values[i] = h.sample(rng, explore); // i < hists.len() <= NYBBLES
+        }
+        self.pattern.materialize(&values[..self.hists.len()]) // hists are free positions: <= NYBBLES
     }
 
     /// Widen the region by freeing its lowest-order fixed nybble — the
@@ -194,6 +195,81 @@ pub fn build_regions(
     out
 }
 
+/// [`build_regions`] with per-subtree worker fan-out — the tree-build
+/// half of the `gen_parallel` lanes (DET rebuilds its tree online, so
+/// construction is on the generation hot path, not just startup).
+///
+/// The seed set is first expanded breadth-first into at most ~48
+/// independent subtree groups (always splitting the largest splittable
+/// group, so subtree sizes stay balanced); each subtree then runs the
+/// sequential [`build_regions`] under a proportional share of
+/// `max_regions` (floor apportionment plus one guaranteed region per
+/// group keeps the total under the cap). Subtree outputs are concatenated
+/// in frontier order, so the region list is **identical at any worker
+/// count**.
+///
+/// The region *order* differs from [`build_regions`] (breadth-first
+/// frontier vs depth-first stack), so this is a separate entry point:
+/// callers pinned to historical candidate streams keep `build_regions`.
+pub fn build_regions_par(
+    seeds: &[Ipv6Addr],
+    strategy: SplitStrategy,
+    max_leaf: usize,
+    max_regions: usize,
+    workers: usize,
+) -> Vec<Region> {
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let fan_target = 48usize.min(max_regions);
+    let mut frontier: Vec<Vec<Ipv6Addr>> = vec![seeds.to_vec()];
+    // A split can add up to 16 groups; stop expanding when that headroom
+    // is gone (also covers tiny max_regions: the loop never runs).
+    while frontier.len() + 16 <= fan_target {
+        // Candidates in size order (largest first, index tiebreak): the
+        // first one that actually splits becomes this step's subdivision.
+        let mut cand: Vec<usize> = (0..frontier.len())
+            .filter(|&i| frontier[i].len() > max_leaf) // i < frontier.len()
+            .collect();
+        cand.sort_by_key(|&i| (std::cmp::Reverse(frontier[i].len()), i)); // i < frontier.len()
+        let mut found = None;
+        for i in cand {
+            if let Some(dim) = pick_split(&frontier[i], strategy) { // i < frontier.len()
+                found = Some((i, dim));
+                break;
+            }
+        }
+        let Some((pos, dim)) = found else { break };
+        let group = frontier.remove(pos); // pos < frontier.len() from the scan above
+        let mut buckets: Vec<Vec<Ipv6Addr>> = vec![Vec::new(); 16];
+        for &a in &group {
+            buckets[nybble_of(a, dim) as usize].push(a); // nybble_of < 16 == buckets.len()
+        }
+        // Replace the group with its non-empty buckets in place, so the
+        // frontier keeps a stable left-to-right address order.
+        for (insert_at, b) in (pos..).zip(buckets.into_iter().filter(|b| !b.is_empty())) {
+            frontier.insert(insert_at, b); // insert_at <= frontier.len() by construction
+        }
+    }
+    let total: usize = frontier.iter().map(Vec::len).sum::<usize>().max(1);
+    let pool = max_regions.saturating_sub(frontier.len());
+    let groups: Vec<(Vec<Ipv6Addr>, usize)> = frontier
+        .into_iter()
+        .map(|g| {
+            let cap = 1 + pool * g.len() / total;
+            (g, cap)
+        })
+        .collect();
+    let _span = sos_obs::span(crate::parallel::GEN_PARALLEL);
+    let parts = crate::parallel::par_map_slots(
+        crate::parallel::GEN_PARALLEL,
+        &groups,
+        workers,
+        |_, (g, cap)| build_regions(g, strategy, max_leaf, *cap),
+    );
+    parts.into_iter().flatten().collect()
+}
+
 /// Choose the split dimension, or `None` when every position is constant.
 fn pick_split(group: &[Ipv6Addr], strategy: SplitStrategy) -> Option<usize> {
     let mut hists = [ValueHist::default(); NYBBLES];
@@ -274,6 +350,63 @@ mod tests {
             .collect();
         let regions = build_regions(&seeds, SplitStrategy::Leftmost, 1, 64);
         assert!(regions.len() <= 64, "{}", regions.len());
+    }
+
+    /// Structural equality for region lists (Region has no PartialEq).
+    fn same_regions(a: &[Region], b: &[Region]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.members == y.members
+                    && x.seed_count == y.seed_count
+                    && x.pattern.fixed == y.pattern.fixed
+            })
+    }
+
+    #[test]
+    fn build_regions_par_is_worker_invariant() {
+        let seeds: Vec<Ipv6Addr> = (0..512u128)
+            .map(|i| Ipv6Addr::from((0x2600u128 << 112) | (i * 0x30007)))
+            .collect();
+        for strategy in [SplitStrategy::Leftmost, SplitStrategy::MinEntropy] {
+            let base = build_regions_par(&seeds, strategy, 8, 1 << 10, 1);
+            for workers in [2, 4, 8] {
+                let par = build_regions_par(&seeds, strategy, 8, 1 << 10, workers);
+                assert!(same_regions(&base, &par), "workers={workers} {strategy:?}");
+            }
+            // ...and it still partitions every seed
+            let total: usize = base.iter().map(|r| r.seed_count).sum();
+            assert_eq!(total, seeds.len());
+        }
+    }
+
+    #[test]
+    fn build_regions_par_respects_the_region_cap() {
+        let seeds: Vec<Ipv6Addr> = (0..4096u128)
+            .map(|i| Ipv6Addr::from((0x2600u128 << 112) | (i * 0x10001)))
+            .collect();
+        for max_regions in [1, 8, 64, 256] {
+            for workers in [1, 4] {
+                let regions =
+                    build_regions_par(&seeds, SplitStrategy::Leftmost, 1, max_regions, workers);
+                assert!(
+                    !regions.is_empty() && regions.len() <= max_regions,
+                    "cap {max_regions} workers {workers}: got {}",
+                    regions.len()
+                );
+                let total: usize = regions.iter().map(|r| r.seed_count).sum();
+                assert_eq!(total, seeds.len(), "cap {max_regions} still partitions");
+            }
+        }
+    }
+
+    #[test]
+    fn build_regions_par_degenerate_inputs() {
+        assert!(build_regions_par(&[], SplitStrategy::Leftmost, 8, 64, 8).is_empty());
+        // identical seeds: unsplittable, single region, no spin
+        let same = vec![a("2001:db8::1"); 100];
+        let regions = build_regions_par(&same, SplitStrategy::MinEntropy, 8, 1024, 8);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].pattern.free_count(), 0);
     }
 
     #[test]

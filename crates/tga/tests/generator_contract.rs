@@ -50,6 +50,27 @@ fn budget_of_one() {
 }
 
 #[test]
+fn budget_smaller_than_the_seed_set() {
+    // 45 seeds, budget 10: generators must emit exactly 10 unique
+    // candidates — not the seed list, not zero, no panic.
+    let seeds = normal_seeds();
+    assert!(seeds.len() > 10);
+    for id in TgaId::ALL {
+        assert_budget_filled(id, &seeds, 10, &mut NullOracle::default());
+    }
+}
+
+#[test]
+fn budget_smaller_than_duplicated_seed_set() {
+    // Duplicates + a budget below even the *unique* seed count.
+    let mut seeds = normal_seeds();
+    seeds.extend(normal_seeds());
+    for id in TgaId::ALL {
+        assert_budget_filled(id, &seeds, 7, &mut NullOracle::default());
+    }
+}
+
+#[test]
 fn duplicate_seeds_are_harmless() {
     let mut seeds = normal_seeds();
     seeds.extend(normal_seeds());
@@ -146,6 +167,80 @@ fn offline_generators_ignore_the_oracle_entirely() {
         let x = build(id).generate(&seeds, &GenConfig::new(500, 3, Protocol::Icmp), &mut YesOracle(0));
         let y = build(id).generate(&seeds, &GenConfig::new(500, 3, Protocol::Icmp), &mut NullOracle::default());
         assert_eq!(x, y, "{id} output must not depend on the oracle");
+    }
+}
+
+/// An oracle violating the `ScanOracle` length contract: its result vecs
+/// are one element short (or long, for `extra = true`).
+struct MalformedOracle {
+    extra: bool,
+}
+impl ScanOracle for MalformedOracle {
+    fn probe(&mut self, _a: Ipv6Addr, _p: Protocol) -> bool {
+        false
+    }
+    fn probe_batch(&mut self, targets: &[Ipv6Addr], _p: Protocol) -> Vec<bool> {
+        let n = if self.extra { targets.len() + 1 } else { targets.len().saturating_sub(1) };
+        vec![false; n]
+    }
+    fn probe_tagged(&mut self, t: &[(Ipv6Addr, u32)], _p: Protocol) -> Vec<(bool, Option<u32>)> {
+        let n = if self.extra { t.len() + 1 } else { t.len().saturating_sub(1) };
+        (0..n).map(|i| (true, t.get(i).map(|&(_, r)| r))).collect()
+    }
+    fn packets_sent(&self) -> u64 {
+        0
+    }
+}
+
+/// Debug builds trip the documented length-contract assert the moment a
+/// malformed oracle returns a short result vec (6Scan's reward loop used
+/// to `zip`-truncate silently).
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "length contract")]
+fn short_oracle_results_trip_the_debug_assert() {
+    build(TgaId::SixScan).generate(
+        &normal_seeds(),
+        &GenConfig::new(300, 7, Protocol::Icmp),
+        &mut MalformedOracle { extra: false },
+    );
+}
+
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "length contract")]
+fn short_oracle_results_trip_the_debug_assert_in_det() {
+    build(TgaId::Det).generate(
+        &normal_seeds(),
+        &GenConfig::new(300, 7, Protocol::Icmp),
+        &mut MalformedOracle { extra: false },
+    );
+}
+
+/// Release builds follow the documented tolerance: missing entries are
+/// unanswered probes, extras are ignored — generation still fills the
+/// budget uniquely and deterministically.
+#[test]
+#[cfg(not(debug_assertions))]
+fn malformed_oracles_are_tolerated_in_release_builds() {
+    for id in [TgaId::SixScan, TgaId::Det] {
+        for extra in [false, true] {
+            assert_budget_filled(id, &normal_seeds(), 600, &mut MalformedOracle { extra });
+            let cfg = GenConfig::new(400, 9, Protocol::Icmp);
+            let a = build(id).generate(&normal_seeds(), &cfg, &mut MalformedOracle { extra });
+            let b = build(id).generate(&normal_seeds(), &cfg, &mut MalformedOracle { extra });
+            assert_eq!(a, b, "{id} stays deterministic under a malformed oracle");
+        }
+    }
+}
+
+/// An over-long result vec is also a contract violation: debug builds
+/// assert, release builds ignore the extras and fill the budget.
+#[test]
+#[cfg_attr(debug_assertions, should_panic(expected = "length contract"))]
+fn extra_oracle_results_assert_in_debug_and_are_ignored_in_release() {
+    for id in [TgaId::SixScan, TgaId::Det] {
+        assert_budget_filled(id, &normal_seeds(), 500, &mut MalformedOracle { extra: true });
     }
 }
 
