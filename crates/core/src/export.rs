@@ -22,6 +22,7 @@ fn field(s: &str) -> String {
 
 /// Write a ratio figure (Figures 3–5) as CSV:
 /// `tga,port,hits_ratio,ases_ratio,aliases_ratio`.
+// sos-lint: deterministic-root figure CSVs are compared byte-for-byte in tests
 pub fn write_ratio_csv<W: Write>(w: &mut W, fig: &RatioFigure) -> std::io::Result<()> {
     writeln!(w, "tga,port,hits_ratio,ases_ratio,aliases_ratio")?;
     for &(tga, proto, h, a, al) in &fig.rows {
@@ -37,6 +38,7 @@ pub fn write_ratio_csv<W: Write>(w: &mut W, fig: &RatioFigure) -> std::io::Resul
 
 /// Write the full grid metrics as CSV:
 /// `dataset,port,tga,generated,hits,ases,aliases,probe_packets`.
+// sos-lint: deterministic-root grid CSVs are compared byte-for-byte in tests
 pub fn write_grid_csv<W: Write>(w: &mut W, grid: &Grid) -> std::io::Result<()> {
     writeln!(w, "dataset,port,tga,generated,hits,ases,aliases,probe_packets")?;
     for dataset in GRID_DATASETS {

@@ -2,11 +2,18 @@
 //!
 //! CI does not fail on pre-existing debt: the committed
 //! `LINT_BASELINE.json` records known findings, and a run fails only when
-//! a finding appears that the baseline does not cover. Matching keys on
-//! `(rule, file, excerpt)` — the trimmed source line — so edits elsewhere
-//! in a file (shifting line numbers) do not churn the baseline, while
-//! *changing* a flagged line makes it count as new again, forcing a
-//! fresh look.
+//! a finding appears that the baseline does not cover.
+//!
+//! **Format v2** keys entries on `(rule, file, content hash of the
+//! trimmed flagged line)`. Hashing (rather than storing the raw line as
+//! the key, as v1 did) keeps the matching property — edits elsewhere in a
+//! file shift line numbers without churning the baseline, while *changing*
+//! a flagged line makes the finding count as new again — and makes the
+//! key's identity explicit: two different rules on the same line are two
+//! entries, and an entry can never accidentally match a line it was not
+//! minted from. The human-readable `excerpt` is still stored alongside,
+//! but only the hash participates in matching. v1 documents (excerpt-keyed,
+//! no `hash` field) load transparently: the excerpt is hashed on parse.
 
 use std::collections::BTreeMap;
 
@@ -14,21 +21,47 @@ use sos_obs::json::Json;
 
 use crate::rules::Finding;
 
-/// One baseline entry (a finding stripped of its volatile line number).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+/// Baseline document format version written by [`to_json`].
+pub const BASELINE_VERSION: u64 = 2;
+
+/// FNV-1a 64-bit over the trimmed line — stable across platforms and
+/// releases (unlike `DefaultHasher`), cheap, and collision-safe at
+/// baseline scale (dozens of entries).
+pub fn content_hash(line: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in line.trim().as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One baseline entry: the matching key `(rule, file, hash)` plus the
+/// excerpt the hash was minted from (carried for human review only).
+#[derive(Debug, Clone)]
 pub struct BaselineEntry {
     pub rule: String,
     pub file: String,
+    /// [`content_hash`] of the trimmed flagged line.
+    pub hash: u64,
     pub excerpt: String,
 }
+
+/// The part of an entry that participates in matching.
+type Key = (String, String, u64);
 
 impl BaselineEntry {
     fn of(f: &Finding) -> BaselineEntry {
         BaselineEntry {
             rule: f.rule.to_string(),
             file: f.file.clone(),
+            hash: content_hash(&f.excerpt),
             excerpt: f.excerpt.clone(),
         }
+    }
+
+    fn key(&self) -> Key {
+        (self.rule.clone(), self.file.clone(), self.hash)
     }
 }
 
@@ -42,17 +75,18 @@ pub struct Diff {
     pub resolved: Vec<BaselineEntry>,
 }
 
-/// Serialize findings as a baseline document.
+/// Serialize findings as a v2 baseline document.
 pub fn to_json(findings: &[Finding]) -> Json {
     let mut doc = Json::obj();
-    doc.set("version", 1u64).set("tool", "sos-lint");
-    let mut entries: Vec<Json> = Vec::with_capacity(findings.len());
+    doc.set("version", BASELINE_VERSION).set("tool", "sos-lint");
     let mut sorted: Vec<BaselineEntry> = findings.iter().map(BaselineEntry::of).collect();
-    sorted.sort();
+    sorted.sort_by_key(BaselineEntry::key);
+    let mut entries: Vec<Json> = Vec::with_capacity(sorted.len());
     for e in &sorted {
         let mut o = Json::obj();
         o.set("rule", e.rule.as_str())
             .set("file", e.file.as_str())
+            .set("hash", format!("{:016x}", e.hash).as_str())
             .set("excerpt", e.excerpt.as_str());
         entries.push(o);
     }
@@ -60,8 +94,18 @@ pub fn to_json(findings: &[Finding]) -> Json {
     doc
 }
 
-/// Parse a baseline document into a multiset of entries.
+/// Parse a baseline document (v1 or v2) into a multiset of entries.
+///
+/// v1 entries carry no `hash`; the stored excerpt *was* the key, so
+/// hashing it reproduces exactly the v2 key the same finding would mint —
+/// migration changes the representation, never the match outcome.
 pub fn parse(doc: &Json) -> Result<Vec<BaselineEntry>, String> {
+    let version = doc.get("version").and_then(Json::as_u64).unwrap_or(1);
+    if version > BASELINE_VERSION {
+        return Err(format!(
+            "baseline version {version} is newer than this sos-lint (max {BASELINE_VERSION}); rebuild or refresh"
+        ));
+    }
     let findings = doc
         .get("findings")
         .and_then(Json::as_arr)
@@ -74,7 +118,14 @@ pub fn parse(doc: &Json) -> Result<Vec<BaselineEntry>, String> {
                 .map(str::to_string)
                 .ok_or_else(|| format!("baseline entry missing `{k}`"))
         };
-        out.push(BaselineEntry { rule: field("rule")?, file: field("file")?, excerpt: field("excerpt")? });
+        let excerpt = field("excerpt")?;
+        let hash = match f.get("hash").and_then(Json::as_str) {
+            Some(hex) => u64::from_str_radix(hex, 16)
+                .map_err(|_| format!("baseline entry has bad hash `{hex}`"))?,
+            // v1 migration: the excerpt was the key; hash it.
+            None => content_hash(&excerpt),
+        };
+        out.push(BaselineEntry { rule: field("rule")?, file: field("file")?, hash, excerpt });
     }
     Ok(out)
 }
@@ -82,22 +133,22 @@ pub fn parse(doc: &Json) -> Result<Vec<BaselineEntry>, String> {
 /// Diff current findings against baseline entries (multiset semantics:
 /// two identical lines need two baseline entries).
 pub fn diff(current: &[Finding], baseline: &[BaselineEntry]) -> Diff {
-    let mut budget: BTreeMap<BaselineEntry, usize> = BTreeMap::new();
+    let mut budget: BTreeMap<Key, Vec<BaselineEntry>> = BTreeMap::new();
     for e in baseline {
-        *budget.entry(e.clone()).or_insert(0) += 1;
+        budget.entry(e.key()).or_default().push(e.clone());
     }
     let mut out = Diff::default();
     for f in current {
-        let key = BaselineEntry::of(f);
+        let key = BaselineEntry::of(f).key();
         match budget.get_mut(&key) {
-            Some(n) if *n > 0 => *n -= 1,
+            Some(v) if !v.is_empty() => {
+                v.pop();
+            }
             _ => out.new.push(f.clone()),
         }
     }
-    for (entry, n) in budget {
-        for _ in 0..n {
-            out.resolved.push(entry.clone());
-        }
+    for (_, leftovers) in budget {
+        out.resolved.extend(leftovers);
     }
     out
 }
@@ -111,18 +162,20 @@ mod tests {
             rule,
             file: file.to_string(),
             line,
+            col: 1,
             message: String::new(),
             excerpt: excerpt.to_string(),
         }
     }
 
     #[test]
-    fn baseline_round_trips() {
+    fn baseline_round_trips_at_v2() {
         let fs = vec![
             finding("panic-unwrap", "crates/a/src/lib.rs", 10, "x.unwrap()"),
             finding("det-wallclock", "crates/b/src/lib.rs", 3, "Instant::now()"),
         ];
         let doc = to_json(&fs);
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(2));
         let back = parse(&Json::parse(&doc.to_string_pretty()).expect("parses")).expect("entries");
         assert_eq!(back.len(), 2);
         let d = diff(&fs, &back);
@@ -161,8 +214,45 @@ mod tests {
     }
 
     #[test]
+    fn v1_documents_migrate_by_hashing_the_excerpt() {
+        let v1 = r#"{
+            "version": 1,
+            "tool": "sos-lint",
+            "findings": [
+                {"rule": "panic-unwrap", "file": "f.rs", "excerpt": "x.unwrap()"}
+            ]
+        }"#;
+        let entries = parse(&Json::parse(v1).expect("json")).expect("entries");
+        assert_eq!(entries[0].hash, content_hash("x.unwrap()"));
+        let current = vec![finding("panic-unwrap", "f.rs", 42, "x.unwrap()")];
+        assert!(diff(&current, &entries).new.is_empty(), "v1 entry still covers the finding");
+    }
+
+    #[test]
+    fn hash_keys_not_excerpts_participate_in_matching() {
+        // Same key fields, hand-corrupted excerpt: matching must follow
+        // the hash, so the doctored entry does NOT cover the finding.
+        let mut e = parse(&to_json(&[finding("panic-unwrap", "f.rs", 1, "a.unwrap()")]))
+            .expect("entries");
+        e[0].hash = content_hash("something else entirely");
+        let d = diff(&[finding("panic-unwrap", "f.rs", 1, "a.unwrap()")], &e);
+        assert_eq!(d.new.len(), 1);
+    }
+
+    #[test]
+    fn content_hash_trims_and_is_stable() {
+        assert_eq!(content_hash("  x.unwrap()  "), content_hash("x.unwrap()"));
+        // pinned value: the hash is part of the committed-baseline format
+        assert_eq!(content_hash(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
     fn malformed_baselines_error() {
         assert!(parse(&Json::parse("{}").expect("json")).is_err());
         assert!(parse(&Json::parse(r#"{"findings":[{"rule":"x"}]}"#).expect("json")).is_err());
+        assert!(
+            parse(&Json::parse(r#"{"version": 99, "findings": []}"#).expect("json")).is_err(),
+            "future versions are rejected, not misread"
+        );
     }
 }

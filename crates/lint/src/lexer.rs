@@ -27,12 +27,13 @@ pub enum TokKind {
     Punct,
 }
 
-/// One token with its 1-based source line.
+/// One token with its 1-based source line and starting column.
 #[derive(Debug, Clone)]
 pub struct Tok {
     pub kind: TokKind,
     pub text: String,
     pub line: u32,
+    pub col: u32,
 }
 
 impl Tok {
@@ -78,18 +79,29 @@ pub fn lex(src: &str) -> Lexed {
     let mut out = Lexed::default();
     let mut i = 0usize;
     let mut line = 1u32;
+    // Index of the first char of the current line; cols are 1-based
+    // char offsets from it.
+    let mut line_start = 0usize;
 
-    // Count newlines in chars[from..to] into `line`.
-    let bump_lines = |line: &mut u32, chars: &[char], from: usize, to: usize| {
-        *line += chars[from..to].iter().filter(|&&c| c == '\n').count() as u32;
+    // Count newlines in chars[from..to] into `line`, tracking where the
+    // last line begins so columns stay correct after multiline literals.
+    let bump_lines = |line: &mut u32, line_start: &mut usize, chars: &[char], from: usize, to: usize| {
+        for (k, &c) in chars[from..to].iter().enumerate() {
+            if c == '\n' {
+                *line += 1;
+                *line_start = from + k + 1;
+            }
+        }
     };
 
     while i < chars.len() {
         let c = chars[i];
         let at = |k: usize| chars.get(i + k).copied();
+        let col = (i - line_start + 1) as u32;
 
         if c == '\n' {
             line += 1;
+            line_start = i + 1;
             i += 1;
             continue;
         }
@@ -127,7 +139,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             let end = if depth == 0 { j - 2 } else { j };
-            bump_lines(&mut line, &chars, i, j);
+            bump_lines(&mut line, &mut line_start, &chars, i, j);
             out.comments
                 .push(Comment { line: start_line, text: chars[start..end].iter().collect() });
             i = j;
@@ -170,11 +182,12 @@ pub fn lex(src: &str) -> Lexed {
                         Some(_) => j += 1,
                     }
                 }
-                bump_lines(&mut line, &chars, i, j);
+                bump_lines(&mut line, &mut line_start, &chars, i, j);
                 out.toks.push(Tok {
                     kind: TokKind::Str,
                     text: String::new(),
                     line: start_line,
+                    col,
                 });
                 i = j;
                 continue;
@@ -190,6 +203,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokKind::Ident,
                     text: chars[start..k].iter().collect(),
                     line,
+                    col,
                 });
                 i = k;
                 continue;
@@ -203,11 +217,12 @@ pub fn lex(src: &str) -> Lexed {
             let start_line = line;
             let mut j = i + 2;
             j = scan_quoted(&chars, j, quote);
-            bump_lines(&mut line, &chars, i, j);
+            bump_lines(&mut line, &mut line_start, &chars, i, j);
             out.toks.push(Tok {
                 kind: if quote == '"' { TokKind::Str } else { TokKind::Char },
                 text: String::new(),
                 line: start_line,
+                col,
             });
             i = j;
             continue;
@@ -217,8 +232,8 @@ pub fn lex(src: &str) -> Lexed {
         if c == '"' {
             let start_line = line;
             let j = scan_quoted(&chars, i + 1, '"');
-            bump_lines(&mut line, &chars, i, j);
-            out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line: start_line });
+            bump_lines(&mut line, &mut line_start, &chars, i, j);
+            out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line: start_line, col });
             i = j;
             continue;
         }
@@ -234,7 +249,7 @@ pub fn lex(src: &str) -> Lexed {
             };
             if is_char {
                 let j = scan_quoted(&chars, i + 1, '\'');
-                out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line, col });
                 i = j;
             } else {
                 // Lifetime: 'ident
@@ -246,6 +261,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokKind::Lifetime,
                     text: chars[i + 1..j].iter().collect(),
                     line,
+                    col,
                 });
                 i = j;
             }
@@ -262,19 +278,35 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokKind::Ident,
                 text: chars[start..i].iter().collect(),
                 line,
+                col,
             });
             continue;
         }
 
         // Numeric literal. A `.` joins only when followed by a digit, so
-        // ranges (`0..n`) and method calls (`1.max(x)`) stay separate.
+        // ranges (`0..n`) and method calls (`1.max(x)`) stay separate; an
+        // `e`/`E` exponent (with optional sign) marks a float, so `1e9`
+        // and `2.5e-3` lex as single Float tokens — hex literals are safe
+        // because `0x..` never reaches the exponent check with a sign.
         if c.is_ascii_digit() {
             let start = i;
+            let is_hex = c == '0' && matches!(at(1), Some('x' | 'X' | 'b' | 'o'));
             let mut is_float = false;
             i += 1;
             while i < chars.len() {
                 let d = chars[i];
-                if is_ident_continue(d) {
+                if !is_hex
+                    && (d == 'e' || d == 'E')
+                    && (chars.get(i + 1).copied().is_some_and(|n| n.is_ascii_digit())
+                        || (matches!(chars.get(i + 1), Some('+' | '-'))
+                            && chars.get(i + 2).copied().is_some_and(|n| n.is_ascii_digit())))
+                {
+                    is_float = true;
+                    i += 1; // the e/E
+                    if matches!(chars.get(i), Some('+' | '-')) {
+                        i += 1;
+                    }
+                } else if is_ident_continue(d) {
                     i += 1;
                 } else if d == '.'
                     && chars.get(i + 1).copied().is_some_and(|n| n.is_ascii_digit())
@@ -290,12 +322,13 @@ pub fn lex(src: &str) -> Lexed {
                 kind: if is_float { TokKind::Float } else { TokKind::Int },
                 text: chars[start..i].iter().collect(),
                 line,
+                col,
             });
             continue;
         }
 
         // Everything else: one punctuation character per token.
-        out.toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+        out.toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line, col });
         i += 1;
     }
 

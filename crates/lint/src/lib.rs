@@ -5,23 +5,29 @@
 //! sharded scans must merge to the sequential report, and every
 //! comparative number in the paper assumes reruns reproduce. Those
 //! invariants are enforced here at the source level — a zero-dependency
-//! lexer (`lexer`), file/region classification (`classify`), a token-rule
-//! engine (`rules`), and a committed-baseline diff (`baseline`) that
-//! fails CI on *new* findings only.
+//! lexer (`lexer`), file/region classification (`classify`), an item/fn
+//! parser (`parse`), a workspace symbol table and call graph (`symbols`,
+//! `callgraph`), a determinism taint pass (`taint`), a token-rule engine
+//! (`rules`), and a committed-baseline diff (`baseline`) that fails CI on
+//! *new* findings only.
 //!
 //! See `README.md` § "Static analysis" for the rule list, suppression
 //! syntax (`// sos-lint: allow(rule) reason`), and the baseline workflow.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod classify;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 
 use std::path::{Path, PathBuf};
 
 use sos_obs::json::Json;
 
-pub use rules::{lint_source, Config, Finding, RuleInfo, RULES};
+pub use rules::{lint_files, lint_source, rule_info, Config, Finding, RuleInfo, RULES};
 
 /// Directories never linted: build output, VCS, and the lint crate's own
 /// rule fixtures (which violate rules on purpose).
@@ -53,21 +59,20 @@ pub fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lint every source file under `root` with `cfg`; findings come back
-/// sorted by `(file, line, rule)`.
+/// Lint every source file under `root` with `cfg` — file-scoped rules
+/// plus the workspace dataflow pass; findings come back sorted by
+/// `(file, line, rule)`.
 pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    let mut files = Vec::new();
     for path in collect_sources(root)? {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = std::fs::read_to_string(&path)?;
-        findings.extend(rules::lint_source(&rel, &src, cfg));
+        files.push((rel, std::fs::read_to_string(&path)?));
     }
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(findings)
+    Ok(rules::lint_files(&files, cfg))
 }
 
 /// Machine-readable report: all findings, plus the baseline diff when a
@@ -77,19 +82,27 @@ pub fn report_json(
     diff: Option<&baseline::Diff>,
 ) -> Json {
     let finding_json = |f: &Finding| {
+        let mut span = Json::obj();
+        span.set("line", u64::from(f.line)).set("col", u64::from(f.col));
         let mut o = Json::obj();
         o.set("rule", f.rule)
+            .set("severity", f.severity())
             .set("file", f.file.as_str())
             .set("line", u64::from(f.line))
+            .set("span", span)
             .set("message", f.message.as_str())
             .set("excerpt", f.excerpt.as_str());
         o
     };
     let mut doc = Json::obj();
-    doc.set("version", 1u64).set("tool", "sos-lint");
+    doc.set("version", 2u64).set("tool", "sos-lint");
     doc.set("rules", Json::Arr(RULES.iter().map(|r| {
         let mut o = Json::obj();
-        o.set("id", r.id).set("group", r.group).set("rationale", r.rationale);
+        o.set("id", r.id)
+            .set("group", r.group)
+            .set("severity", r.severity)
+            .set("rationale", r.rationale)
+            .set("fix", r.fix);
         o
     }).collect()));
     doc.set("findings", Json::Arr(findings.iter().map(finding_json).collect()));
@@ -105,6 +118,7 @@ pub fn report_json(
                         let mut o = Json::obj();
                         o.set("rule", e.rule.as_str())
                             .set("file", e.file.as_str())
+                            .set("hash", format!("{:016x}", e.hash).as_str())
                             .set("excerpt", e.excerpt.as_str());
                         o
                     })
@@ -125,12 +139,19 @@ mod tests {
             rule: "panic-unwrap",
             file: "crates/a/src/lib.rs".into(),
             line: 3,
+            col: 7,
             message: "m".into(),
             excerpt: "x.unwrap()".into(),
         };
         let d = baseline::diff(std::slice::from_ref(&f), &[]);
         let doc = report_json(&[f], Some(&d));
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(2));
         assert_eq!(doc.get("total").and_then(Json::as_u64), Some(1));
+        let first = &doc.get("findings").and_then(Json::as_arr).expect("findings")[0];
+        assert_eq!(first.get("severity").and_then(Json::as_str), Some("error"));
+        let span = first.get("span").expect("span");
+        assert_eq!(span.get("line").and_then(Json::as_u64), Some(3));
+        assert_eq!(span.get("col").and_then(Json::as_u64), Some(7));
         assert_eq!(doc.get("new").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
         assert_eq!(
             doc.get("rules").and_then(Json::as_arr).map(<[Json]>::len),

@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sos_lint::{baseline, lint_workspace, report_json, Config, RULES};
+use sos_lint::{baseline, lint_workspace, report_json, rule_info, Config, RULES};
 use sos_obs::json::Json;
 
 fn usage(code: i32) -> ! {
@@ -22,14 +22,16 @@ OPTIONS:
     --baseline FILE        diff against FILE; exit 1 only on NEW findings
     --write-baseline FILE  write current findings to FILE and exit 0
     --format text|json     report format on stdout (default: text)
+    --json                 shorthand for --format json
     --out FILE             also write the JSON report to FILE
     --list-rules           print rule ids with rationales and exit
+    --explain RULE         print one rule's rationale and fix, then exit
     -h, --help             show this help
 
 RULES:"
     );
     for r in RULES {
-        eprintln!("    {:<24} [{}] {}", r.id, r.group, r.rationale);
+        eprintln!("    {:<24} [{}/{}] {}", r.id, r.group, r.severity, r.rationale);
     }
     eprintln!(
         "
@@ -53,6 +55,7 @@ struct Args {
     json: bool,
     out: Option<PathBuf>,
     list_rules: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +67,7 @@ fn parse_args() -> Args {
         json: false,
         out: None,
         list_rules: false,
+        explain: None,
     };
     let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
         argv.next().unwrap_or_else(|| {
@@ -86,8 +90,10 @@ fn parse_args() -> Args {
                     std::process::exit(2)
                 }
             },
+            "--json" => args.json = true,
             "--out" => args.out = Some(PathBuf::from(need(&mut argv, "--out"))),
             "--list-rules" => args.list_rules = true,
+            "--explain" => args.explain = Some(need(&mut argv, "--explain")),
             "-h" | "--help" => usage(0),
             other => {
                 eprintln!("sos-lint: unknown argument '{other}'");
@@ -103,8 +109,23 @@ fn main() -> ExitCode {
 
     if args.list_rules {
         for r in RULES {
-            println!("{:<24} [{}] {}", r.id, r.group, r.rationale);
+            println!("{:<24} [{}/{}] {}", r.id, r.group, r.severity, r.rationale);
         }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(id) = &args.explain {
+        let Some(r) = rule_info(id) else {
+            eprintln!("sos-lint: no rule named `{id}` (see --list-rules)");
+            return ExitCode::from(2);
+        };
+        println!("{} [{}/{}]", r.id, r.group, r.severity);
+        println!("\nwhat it catches:\n    {}", r.rationale);
+        println!("\nfix:\n    {}", r.fix);
+        println!(
+            "\nsuppress (only with a written reason):\n    // sos-lint: allow({}) reason why this exception is sound",
+            r.id
+        );
         return ExitCode::SUCCESS;
     }
 

@@ -20,85 +20,154 @@ use crate::classify::{
 };
 use crate::lexer::{lex, Lexed, Tok, TokKind};
 
-/// One rule's identity and one-line rationale (shown by `--help` and
-/// `--list-rules`).
+/// One rule's identity, one-line rationale, severity, and canonical fix
+/// (shown by `--list-rules` and `--explain`).
 pub struct RuleInfo {
     pub id: &'static str,
     pub group: &'static str,
     pub rationale: &'static str,
+    /// `"error"` for determinism/panic-safety/concurrency invariants,
+    /// `"warn"` for observability hygiene and meta rules.
+    pub severity: &'static str,
+    /// The canonical remediation, one line.
+    pub fix: &'static str,
 }
 
-/// The full rule set, in display order.
+/// The full rule set, in display order. File-scoped rules first, then the
+/// workspace dataflow rules (which need the parser + call graph).
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "det-wallclock",
         group: "determinism",
         rationale: "Instant/SystemTime outside sos-obs leaks wall-clock into scan logic; use sos_obs::now_s or take times as inputs",
+        severity: "error",
+        fix: "route timing through sos_obs::now_s(), or take timestamps as parameters",
     },
     RuleInfo {
         id: "det-unordered-collection",
         group: "determinism",
         rationale: "HashMap/HashSet in report/manifest/export assembly can leak iteration order into results; use BTreeMap/BTreeSet or sort",
+        severity: "error",
+        fix: "replace with BTreeMap/BTreeSet, or an explicitly sorted Vec",
     },
     RuleInfo {
         id: "det-hash-iter",
         group: "determinism",
         rationale: "iterating a HashMap/HashSet yields per-process order; sort nearby, reduce order-insensitively, use a BTree collection, or justify via suppression",
+        severity: "error",
+        fix: "sort the iterated items before consuming them, or switch the container to a BTree type",
     },
     RuleInfo {
         id: "det-random-state",
         group: "determinism",
         rationale: "std RandomState is seeded per process; nothing downstream of it can be reproducible",
+        severity: "error",
+        fix: "use a fixed-key hasher (or a BTree collection, which needs none)",
     },
     RuleInfo {
         id: "det-fault-entropy",
         group: "determinism",
         rationale: "fault-injection and retry code must draw all randomness from the seeded splitmix64 chain (netmodel::mix); thread_rng/from_entropy/OsRng/rand::random would make chaos schedules and backoff jitter unreproducible",
+        severity: "error",
+        fix: "derive randomness from the run seed via netmodel::mix / SmallRng::seed_from_u64",
+    },
+    RuleInfo {
+        id: "det-unordered-iter",
+        group: "determinism",
+        rationale: "hash-container iteration inside a function reachable from a deterministic root (TGA generate paths, digest/manifest writers, journal emitters, checkpoint serializers) leaks per-process order into bytes that must be bit-identical at any worker count",
+        severity: "error",
+        fix: "use a BTree collection, or collect and sort before the order can escape; only an explicit sort excuses a site on a deterministic path",
+    },
+    RuleInfo {
+        id: "det-wall-clock",
+        group: "determinism",
+        rationale: "a wall-clock or entropy source inside a function reachable from a deterministic root makes the root's output differ between identical runs; unlike the file-scoped det-wallclock/det-fault-entropy this follows the call graph, wherever the call lands",
+        severity: "error",
+        fix: "take times as inputs at the root's boundary; derive randomness from the run seed",
+    },
+    RuleInfo {
+        id: "det-float-reduce",
+        group: "determinism",
+        rationale: "float addition does not commute under rounding, so sum::<f64>/fold(0.0,..)/x += inside a function on a deterministic path changes digest bytes whenever reduction order changes — even over the same value set",
+        severity: "error",
+        fix: "fix the reduction order (sort first), accumulate in integers, or suppress with the total-order argument written down",
+    },
+    RuleInfo {
+        id: "par-shared-mut",
+        group: "concurrency",
+        rationale: "a par_map/par_map_slots closure that locks or mutates captured state makes worker interleaving observable, breaking the merge contract that W-invariance rests on (workers return per-slot results; the join merges deterministically)",
+        severity: "error",
+        fix: "return per-item values from the closure and merge after the join",
+    },
+    RuleInfo {
+        id: "lock-order",
+        group: "concurrency",
+        rationale: "two functions acquiring the same pair of locks in opposite orders deadlock the moment shard workers interleave them",
+        severity: "error",
+        fix: "adopt one global acquisition order (alphabetical by field) and re-order the flagged function to match",
     },
     RuleInfo {
         id: "panic-unwrap",
         group: "panic-safety",
         rationale: "unwrap/expect in scan-path library code aborts the campaign on the first surprise; return Result or document why it cannot fail",
+        severity: "error",
+        fix: "return Result, or suppress with the impossibility argument written down",
     },
     RuleInfo {
         id: "panic-macro",
         group: "panic-safety",
         rationale: "panic!/unreachable!/todo!/unimplemented! in scan-path library code aborts the campaign; return Result",
+        severity: "error",
+        fix: "return Result (or an explicit error enum variant)",
     },
     RuleInfo {
         id: "panic-indexing",
         group: "panic-safety",
         rationale: "unchecked indexing can panic; use a literal/modular/len-bounded index, .get(), or state the bound in a comment on the same or previous line",
+        severity: "error",
+        fix: "use .get(), a modular/clamped index, or write the bound argument in a comment",
     },
     RuleInfo {
         id: "conc-static-mut",
         group: "concurrency",
         rationale: "static mut is UB-prone mutable global state; use atomics, locks, or thread-locals",
+        severity: "error",
+        fix: "replace with an atomic, a lock, or a thread-local",
     },
     RuleInfo {
         id: "conc-relaxed",
         group: "concurrency",
         rationale: "Relaxed ordering on state crossing the par_map merge boundary needs a written justification (sos-lint: allow)",
+        severity: "error",
+        fix: "use AcqRel/SeqCst, or suppress with the monotonicity argument written down",
     },
     RuleInfo {
         id: "conc-lock-in-hot-loop",
         group: "concurrency",
         rationale: "taking a lock inside a per-target hot loop (probe_burst) serializes the shards the loop exists to parallelize; hoist it",
+        severity: "error",
+        fix: "acquire the lock once before the loop",
     },
     RuleInfo {
         id: "obs-metric-names",
         group: "observability",
         rationale: "counter/histogram registered under an inline string literal drifts from the central name tables; route names through a `names` const module so manifests, snapshots, and dashboards stay in sync",
+        severity: "warn",
+        fix: "replace the literal with a const from the central `names` module",
     },
     RuleInfo {
         id: "obs-provenance-labels",
         group: "observability",
         rationale: "provenance/coverage manifest keys written as inline string literals drift from the central `names` table that `seedscan explain` reads back; use the consts in sos_core::names",
+        severity: "warn",
+        fix: "replace the literal with the const from sos_core::names",
     },
     RuleInfo {
         id: "suppression-reason",
         group: "meta",
         rationale: "every `sos-lint: allow(...)` must carry a written reason; undocumented exceptions rot",
+        severity: "warn",
+        fix: "append the reason to the allow comment: `// sos-lint: allow(rule) because …`",
     },
 ];
 
@@ -108,15 +177,24 @@ pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
 }
 
 /// One finding. `excerpt` is the trimmed source line — baseline matching
-/// keys on `(rule, file, excerpt)` so unrelated edits shifting line
-/// numbers do not churn the baseline.
+/// keys on `(rule, file, content hash of the trimmed line)` so unrelated
+/// edits shifting line numbers do not churn the baseline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     pub rule: &'static str,
     pub file: String,
     pub line: u32,
+    /// 1-based column of the flagged token.
+    pub col: u32,
     pub message: String,
     pub excerpt: String,
+}
+
+impl Finding {
+    /// The rule's severity from the central table.
+    pub fn severity(&self) -> &'static str {
+        rule_info(self.rule).map_or("error", |r| r.severity)
+    }
 }
 
 /// Which crates/files each rule binds. Defaults encode current workspace
@@ -151,6 +229,17 @@ pub struct Config {
     /// the keys must be those consts, so the writer (`seedscan`) and the
     /// reader (`explain`) cannot drift.
     pub provenance_table_files: Vec<String>,
+    /// Deterministic-root registry: `(path substring, fn name)` pairs.
+    /// Functions matching an entry seed the taint pass; the default comes
+    /// from [`crate::taint::DETERMINISTIC_ROOTS`]. Definition-site
+    /// `// sos-lint: deterministic-root` comments add to this set.
+    pub roots: Vec<(String, String)>,
+    /// The `par_map` family: functions whose closure arguments must not
+    /// mutate shared state (`par-shared-mut`).
+    pub par_fns: Vec<String>,
+    /// Method-call resolution fallback cutoff: a method name implemented
+    /// by more than this many workspace types draws no call-graph edges.
+    pub method_fallback_max: usize,
 }
 
 impl Default for Config {
@@ -190,6 +279,12 @@ impl Default for Config {
                 // the rule's own namespace table lives here
                 "crates/lint/src/rules.rs".to_string(),
             ],
+            roots: crate::taint::DETERMINISTIC_ROOTS
+                .iter()
+                .map(|(path, name, _)| (path.to_string(), name.to_string()))
+                .collect(),
+            par_fns: ["par_map", "par_map_stats", "par_map_slots"].map(String::from).to_vec(),
+            method_fallback_max: 6,
         }
     }
 }
@@ -212,12 +307,12 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     let lines: Vec<&str> = src.lines().collect();
 
     let mut raw: Vec<Finding> = Vec::new();
-    let mut push = |rule: &'static str, line: u32, message: String| {
+    let mut push = |rule: &'static str, line: u32, col: u32, message: String| {
         let excerpt = lines
             .get(line.saturating_sub(1) as usize)
             .map(|l| l.trim().to_string())
             .unwrap_or_default();
-        raw.push(Finding { rule, file: rel_path.to_string(), line, message, excerpt });
+        raw.push(Finding { rule, file: rel_path.to_string(), line, col, message, excerpt });
     };
 
     let prod_code = matches!(class, FileClass::Lib | FileClass::Bin);
@@ -230,6 +325,7 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                 push(
                     "det-wallclock",
                     t.line,
+                    t.col,
                     format!("`{}` outside sos-obs: wall-clock must not reach scan logic", t.text),
                 );
             }
@@ -242,6 +338,7 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                 push(
                     "det-unordered-collection",
                     t.line,
+                    t.col,
                     format!(
                         "`{}` on a result path: use BTreeMap/BTreeSet or an explicitly sorted Vec",
                         t.text
@@ -257,6 +354,7 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                 push(
                     "det-random-state",
                     t.line,
+                    t.col,
                     "`RandomState` is per-process random; use a fixed-key hasher".to_string(),
                 );
             }
@@ -280,6 +378,7 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                 push(
                     "det-fault-entropy",
                     t.line,
+                    t.col,
                     format!(
                         "`{}` in fault/retry code: draw randomness from the seeded splitmix64 chain (netmodel::mix) so chaos schedules replay",
                         t.text
@@ -301,6 +400,7 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                     push(
                         "panic-unwrap",
                         t.line,
+                        t.col,
                         format!("`.{}()` in library code: return Result or justify via suppression", t.text),
                     );
                 }
@@ -310,6 +410,7 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                     push(
                         "panic-macro",
                         t.line,
+                        t.col,
                         format!("`{}!` in library code: return Result or justify via suppression", t.text),
                     );
                 }
@@ -325,6 +426,7 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
             push(
                 "conc-static-mut",
                 t.line,
+                t.col,
                 "`static mut`: use atomics, locks, or thread-locals".to_string(),
             );
         }
@@ -336,6 +438,7 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                 push(
                     "conc-relaxed",
                     t.line,
+                    t.col,
                     "`Ordering::Relaxed` needs a written justification that it cannot cross the par_map merge boundary unsynchronized"
                         .to_string(),
                 );
@@ -360,6 +463,7 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
             push(
                 "suppression-reason",
                 s.line,
+                1,
                 format!("suppression of `{}` has no reason; write why the exception is sound", s.rule),
             );
         }
@@ -379,12 +483,59 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     raw
 }
 
-/// `det-hash-iter`: find identifiers bound to hash-container types in this
-/// file, then flag order-dependent iteration over them.
-fn hash_iter_rule(toks: &[Tok], push: &mut impl FnMut(&'static str, u32, String)) {
-    // Hash-container type names: the std types plus this file's aliases
-    // (`type FlowMap = HashMap<..>`).
+/// Lint a whole workspace: every file-scoped rule per file, then the
+/// dataflow rules over the parsed workspace (symbol table → call graph →
+/// taint), with the same test-region/suppression filtering applied to
+/// workspace findings.
+///
+/// Counterpart dedup: a dataflow rule supersedes its file-scoped
+/// counterpart on the same line (`det-unordered-iter` over
+/// `det-hash-iter`; `det-wall-clock` over `det-wallclock` and
+/// `det-fault-entropy`), so one offending line reports once, with root
+/// attribution.
+pub fn lint_files(files: &[(String, String)], cfg: &Config) -> Vec<Finding> {
+    let ws = crate::symbols::Workspace::build(files, cfg);
+    let graph = crate::callgraph::CallGraph::build(&ws, cfg);
+    let taint = crate::taint::Taint::build(&ws, &graph, cfg);
+
+    let mut all: Vec<Finding> = Vec::new();
+    for (rel, src) in files {
+        all.extend(lint_source(rel, src, cfg));
+    }
+    for f in crate::taint::workspace_rules(&ws, &graph, &taint, cfg) {
+        let Some(fd) = ws.files.iter().find(|d| d.rel == f.file) else { continue };
+        if in_test_region(&fd.regions, f.line) || suppressed(&fd.supps, f.rule, f.line) {
+            continue;
+        }
+        all.push(f);
+    }
+
+    const SUPERSEDES: &[(&str, &[&str])] = &[
+        ("det-unordered-iter", &["det-hash-iter"]),
+        ("det-wall-clock", &["det-wallclock", "det-fault-entropy"]),
+    ];
+    let winners: Vec<(&str, String, u32)> = all
+        .iter()
+        .filter(|f| SUPERSEDES.iter().any(|(w, _)| *w == f.rule))
+        .map(|f| (f.rule, f.file.clone(), f.line))
+        .collect();
+    all.retain(|f| {
+        !SUPERSEDES.iter().any(|(w, losers)| {
+            losers.contains(&f.rule)
+                && winners.iter().any(|(wr, wf, wl)| wr == w && *wf == f.file && *wl == f.line)
+        })
+    });
+    all.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    all
+}
+
+/// Identifiers bound to hash-container types anywhere in the file:
+/// `name: [&][mut] HashMap<..>` ascriptions and `name = HashMap::..`
+/// initializers. `extra_aliases` adds workspace-wide alias names (the
+/// file's own `type X = HashMap<..>` aliases are always included).
+pub(crate) fn hash_bound_names(toks: &[Tok], extra_aliases: &[String]) -> Vec<String> {
     let mut hash_types: Vec<&str> = vec!["HashMap", "HashSet"];
+    hash_types.extend(extra_aliases.iter().map(String::as_str));
     for w in toks.windows(4) {
         if w[0].is_ident("type")
             && w[1].kind == TokKind::Ident
@@ -394,15 +545,12 @@ fn hash_iter_rule(toks: &[Tok], push: &mut impl FnMut(&'static str, u32, String)
             hash_types.push(w[1].text.as_str());
         }
     }
-
-    // Identifiers bound to those types: `name: [&][mut] HashMap<..>` or
-    // `[let] [mut] name = HashMap::..`.
-    let mut bound: Vec<&str> = Vec::new();
+    let mut bound: Vec<String> = Vec::new();
     for i in 0..toks.len() {
         if toks[i].kind != TokKind::Ident {
             continue;
         }
-        let name = toks[i].text.as_str();
+        let name = &toks[i].text;
         if let Some(next) = toks.get(i + 1) {
             if next.is_punct(':') && !toks.get(i + 2).is_some_and(|t| t.is_punct(':')) {
                 // type ascription: skip `&`, `mut`, lifetimes
@@ -413,7 +561,7 @@ fn hash_iter_rule(toks: &[Tok], push: &mut impl FnMut(&'static str, u32, String)
                     j += 1;
                 }
                 if toks.get(j).is_some_and(|t| hash_types.iter().any(|h| t.is_ident(h))) {
-                    bound.push(name);
+                    bound.push(name.clone());
                 }
             }
             if next.is_punct('=')
@@ -421,31 +569,48 @@ fn hash_iter_rule(toks: &[Tok], push: &mut impl FnMut(&'static str, u32, String)
                     .get(i + 2)
                     .is_some_and(|t| hash_types.iter().any(|h| t.is_ident(h)))
             {
-                bound.push(name);
+                bound.push(name.clone());
             }
         }
     }
-    if bound.is_empty() {
-        return;
-    }
+    bound
+}
 
+/// One order-dependent iteration over a hash-bound identifier.
+pub(crate) struct IterSite {
+    /// Token index of the iterated identifier.
+    pub idx: usize,
+    pub line: u32,
+    pub col: u32,
+    /// `` `name.keys()` `` / `` `for … in name` `` for messages.
+    pub desc: String,
+    /// A `sort*` call follows within a few lines — order restored.
+    pub sorted: bool,
+    /// An order-insensitive reduction (`count`/`sum`/…) follows. The
+    /// file-scoped rule accepts this escape; the dataflow rule does not
+    /// (it cannot tell integer sums from float sums).
+    pub reduced: bool,
+}
+
+/// Find order-dependent iteration sites over `bound` identifiers.
+pub(crate) fn hash_iter_sites(toks: &[Tok], bound: &[String]) -> Vec<IterSite> {
     const ORDER_DEPENDENT: &[&str] =
         &["iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "drain"];
-    // Order is harmless when it is restored or erased close by: a `sort*`
-    // call, or an order-insensitive reduction ending the chain.
-    const ORDER_RESTORING: &[&str] = &[
+    const SORTS: &[&str] = &[
         "sort", "sort_unstable", "sort_by", "sort_by_key", "sort_unstable_by",
-        "sort_unstable_by_key", "count", "sum", "min", "max", "any", "all",
+        "sort_unstable_by_key",
     ];
-    let restored_soon = |start: usize, line: u32| {
+    const REDUCTIONS: &[&str] = &["count", "sum", "min", "max", "any", "all"];
+    let soon = |start: usize, line: u32, names: &[&str]| {
         toks[start..]
             .iter()
             .take_while(|t| t.line <= line + 6)
-            .any(|t| t.kind == TokKind::Ident && ORDER_RESTORING.contains(&t.text.as_str()))
+            .any(|t| t.kind == TokKind::Ident && names.contains(&t.text.as_str()))
     };
+    let mut out = Vec::new();
     for i in 0..toks.len() {
         let t = &toks[i];
-        if t.kind != TokKind::Ident || !bound.contains(&t.text.as_str()) {
+        if t.kind != TokKind::Ident || !bound.iter().any(|b| b == &t.text) {
             continue;
         }
         // `name.iter()` and friends.
@@ -453,17 +618,15 @@ fn hash_iter_rule(toks: &[Tok], push: &mut impl FnMut(&'static str, u32, String)
             && toks
                 .get(i + 2)
                 .is_some_and(|n| ORDER_DEPENDENT.iter().any(|m| n.is_ident(m)))
-            && !restored_soon(i + 3, t.line)
         {
-            push(
-                "det-hash-iter",
-                t.line,
-                format!(
-                    "`{}.{}()` iterates a hash container in per-process order; sort or use a BTree collection",
-                    t.text,
-                    toks[i + 2].text
-                ),
-            );
+            out.push(IterSite {
+                idx: i,
+                line: t.line,
+                col: t.col,
+                desc: format!("`{}.{}()`", t.text, toks[i + 2].text),
+                sorted: soon(i + 3, t.line, SORTS),
+                reduced: soon(i + 3, t.line, REDUCTIONS),
+            });
         }
         // `for pat in [&][mut] name {`.
         if i >= 1 {
@@ -474,25 +637,53 @@ fn hash_iter_rule(toks: &[Tok], push: &mut impl FnMut(&'static str, u32, String)
             if j >= 1
                 && toks[j - 1].is_ident("in")
                 && toks.get(i + 1).is_some_and(|n| n.is_punct('{'))
-                && !restored_soon(i + 1, t.line)
             {
-                push(
-                    "det-hash-iter",
-                    t.line,
-                    format!(
-                        "`for … in {}` iterates a hash container in per-process order; sort or use a BTree collection",
-                        t.text
-                    ),
-                );
+                out.push(IterSite {
+                    idx: i,
+                    line: t.line,
+                    col: t.col,
+                    desc: format!("`for … in {}`", t.text),
+                    sorted: soon(i + 1, t.line, SORTS),
+                    reduced: soon(i + 1, t.line, REDUCTIONS),
+                });
             }
         }
+    }
+    out
+}
+
+/// `det-hash-iter`: find identifiers bound to hash-container types in this
+/// file, then flag order-dependent iteration over them. Order restored
+/// (`sort*`) or erased (an order-insensitive reduction) close by is fine.
+fn hash_iter_rule(toks: &[Tok], push: &mut impl FnMut(&'static str, u32, u32, String)) {
+    let bound = hash_bound_names(toks, &[]);
+    if bound.is_empty() {
+        return;
+    }
+    for site in hash_iter_sites(toks, &bound) {
+        if site.sorted || site.reduced {
+            continue;
+        }
+        push(
+            "det-hash-iter",
+            site.line,
+            site.col,
+            format!(
+                "{} iterates a hash container in per-process order; sort or use a BTree collection",
+                site.desc
+            ),
+        );
     }
 }
 
 /// `panic-indexing`: flag `expr[index]` unless the index is literal-only,
 /// modular, clamped, or the line (or the one above) carries a comment
 /// stating the bound.
-fn indexing_rule(lexed: &Lexed, lines: &[&str], push: &mut impl FnMut(&'static str, u32, String)) {
+fn indexing_rule(
+    lexed: &Lexed,
+    lines: &[&str],
+    push: &mut impl FnMut(&'static str, u32, u32, String),
+) {
     let toks = &lexed.toks;
     let has_comment_near = |line: u32| {
         lexed
@@ -558,6 +749,7 @@ fn indexing_rule(lexed: &Lexed, lines: &[&str], push: &mut impl FnMut(&'static s
             push(
                 "panic-indexing",
                 line,
+                toks[i].col,
                 format!(
                     "`{receiver}[…]` without a bound comment ({preview:.60}); use .get(), a guarded index, or state the bound in a comment"
                 ),
@@ -572,7 +764,7 @@ fn indexing_rule(lexed: &Lexed, lines: &[&str], push: &mut impl FnMut(&'static s
 /// `_with` labeled variants. Names must be consts from a central `names`
 /// module (`counter(names::HITS)`); dynamic names built with `format!`
 /// are not literals and stay out of scope.
-fn metric_name_rule(toks: &[Tok], push: &mut impl FnMut(&'static str, u32, String)) {
+fn metric_name_rule(toks: &[Tok], push: &mut impl FnMut(&'static str, u32, u32, String)) {
     const REGISTRY_FNS: &[&str] = &["counter", "histogram", "counter_with", "histogram_with"];
     for (i, t) in toks.iter().enumerate() {
         if t.kind == TokKind::Ident
@@ -583,6 +775,7 @@ fn metric_name_rule(toks: &[Tok], push: &mut impl FnMut(&'static str, u32, Strin
             push(
                 "obs-metric-names",
                 t.line,
+                t.col,
                 format!(
                     "`{}(\"…\")` with an inline name literal; use a const from the central `names` table",
                     t.text
@@ -602,7 +795,7 @@ fn metric_name_rule(toks: &[Tok], push: &mut impl FnMut(&'static str, u32, Strin
 fn provenance_label_rule(
     toks: &[Tok],
     lines: &[&str],
-    push: &mut impl FnMut(&'static str, u32, String),
+    push: &mut impl FnMut(&'static str, u32, u32, String),
 ) {
     const NAMESPACES: &[&str] = &[
         "\"campaign.attribution",
@@ -624,6 +817,7 @@ fn provenance_label_rule(
             push(
                 "obs-provenance-labels",
                 t.line,
+                t.col,
                 format!(
                     "`{}…` as an inline literal; use the const from the central `names` table (sos_core::names) so the manifest writer and `explain` stay in sync",
                     &ns[1..]
@@ -638,7 +832,7 @@ fn provenance_label_rule(
 fn hot_loop_rule(
     toks: &[Tok],
     hot_fns: &[String],
-    push: &mut impl FnMut(&'static str, u32, String),
+    push: &mut impl FnMut(&'static str, u32, u32, String),
 ) {
     let mut i = 0usize;
     while i + 1 < toks.len() {
@@ -708,6 +902,7 @@ fn hot_loop_rule(
                         push(
                             "conc-lock-in-hot-loop",
                             t.line,
+                            t.col,
                             format!(
                                 "`{what}` inside `{fn_name}`'s per-target loop; acquire before the loop"
                             ),

@@ -1,0 +1,43 @@
+//! Fixture: `det-float-reduce` — order-sensitive float accumulation on a
+//! deterministic path. Linted as `crates/core/src/fx.rs`.
+
+// sos-lint: deterministic-root grid CSV bytes feed the figure digests
+pub fn export_grid(vals: &[f64]) -> f64 {
+    reduce(vals) + fold_reduce(vals) + accum(vals) + stable(vals) + int_total(vals) as f64
+}
+
+fn reduce(vals: &[f64]) -> f64 {
+    // FIRES: turbofish float sum
+    vals.iter().copied().sum::<f64>()
+}
+
+fn fold_reduce(vals: &[f64]) -> f64 {
+    // FIRES: float-seeded fold
+    vals.iter().fold(0.0, |acc, v| acc + v)
+}
+
+fn accum(vals: &[f64]) -> f64 {
+    // FIRES: compound assignment into a float accumulator
+    let mut total = 0.0;
+    for v in vals {
+        total += v;
+    }
+    total
+}
+
+fn stable(vals: &[f64]) -> f64 {
+    // SUPPRESSED: the input Vec order is fixed upstream, so the
+    // reduction order is total; the allow records that argument.
+    // sos-lint: allow(det-float-reduce) input Vec order fixed by sort upstream
+    vals.iter().copied().sum::<f64>()
+}
+
+fn int_total(vals: &[f64]) -> u64 {
+    // quiet: integer accumulation commutes exactly
+    vals.iter().map(|v| *v as u64).sum::<u64>()
+}
+
+pub fn chart_mean(vals: &[f64]) -> f64 {
+    // NOT reachable from any root: rendering may reduce floats freely.
+    vals.iter().copied().sum::<f64>() / vals.len().max(1) as f64
+}

@@ -1,0 +1,42 @@
+//! Fixture: `det-unordered-iter` — hash-container iteration reachable
+//! from a deterministic root. Linted as `crates/core/src/fx.rs`.
+use std::collections::HashMap;
+
+// sos-lint: deterministic-root candidate stream must be bit-identical
+pub fn generate(seeds: &HashMap<u64, u32>) -> Vec<u64> {
+    let mut out = collect_candidates(seeds);
+    out.extend(sorted_ok(seeds));
+    out.truncate(budget(seeds) as usize);
+    out
+}
+
+fn collect_candidates(seeds: &HashMap<u64, u32>) -> Vec<u64> {
+    // FIRES: per-process order reaches the candidate stream, and the
+    // file-scoped det-hash-iter on the same line is superseded.
+    let picked: Vec<u64> = seeds.keys().copied().collect();
+    picked
+}
+
+fn sorted_ok(seeds: &HashMap<u64, u32>) -> Vec<u64> {
+    // quiet: an explicit sort restores a total order
+    let mut ks: Vec<u64> = seeds.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}
+
+fn budget(seeds: &HashMap<u64, u32>) -> u64 {
+    // SUPPRESSED: the reduction escape silences det-hash-iter but not the
+    // dataflow rule; the allow carries the order-insensitivity argument.
+    // sos-lint: allow(det-unordered-iter) integer sum is order-insensitive
+    seeds.values().map(|v| u64::from(*v)).sum::<u64>()
+}
+
+pub fn render_report(seeds: &HashMap<u64, u32>) -> String {
+    // NOT reachable from any root: only the file-scoped det-hash-iter
+    // fires here — never det-unordered-iter.
+    let mut s = String::new();
+    for k in seeds.keys() {
+        s.push_str(&format!("{k}\n"));
+    }
+    s
+}

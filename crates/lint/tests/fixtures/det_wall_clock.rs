@@ -1,0 +1,39 @@
+//! Fixture: `det-wall-clock` — time/entropy sources reachable from a
+//! deterministic root. Linted as `crates/obs/src/fx.rs`: the obs crate is
+//! exempt from the file-scoped det-wallclock, so every finding here is
+//! the dataflow rule following the call graph.
+use std::time::Instant;
+
+// sos-lint: deterministic-root manifest bytes are compared across reruns
+pub fn write_manifest(rows: &[u64]) -> String {
+    let mut doc = header();
+    doc.push_str(&body(rows));
+    doc
+}
+
+fn header() -> String {
+    // FIRES: wall-clock read on the digest path
+    let t = Instant::now();
+    format!("# took {:?}\n", t.elapsed())
+}
+
+fn body(rows: &[u64]) -> String {
+    // FIRES: ambient entropy on the digest path
+    let salt: u64 = thread_rng().gen();
+    format!("{} rows, salt {salt}\n", rows.len())
+}
+
+pub fn watch_latency() -> u64 {
+    // NOT reachable from any root: telemetry may read the clock freely.
+    let t0 = Instant::now();
+    t0.elapsed().as_micros() as u64
+}
+
+// sos-lint: deterministic-root journal lines replay bit-identically
+pub fn emit_event(seq: u64) -> String {
+    // SUPPRESSED: the wall_s field is recorded for humans and excluded
+    // from the replay fold, so the clock never reaches replayed bytes.
+    // sos-lint: allow(det-wall-clock) wall_s is display-only, not folded
+    let wall = Instant::now();
+    format!("{seq} {:?}\n", wall)
+}

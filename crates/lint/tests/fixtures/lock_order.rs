@@ -1,0 +1,53 @@
+//! Fixture: `lock-order` — inconsistent lock-acquisition order across
+//! functions. Linted as `crates/core/src/fx.rs`. The rule flags the
+//! function acquiring in non-canonical (alphabetically inverted) order.
+use std::sync::Mutex;
+
+pub struct Engine {
+    queue: Mutex<Vec<u64>>,
+    stats: Mutex<u64>,
+}
+
+impl Engine {
+    pub fn enqueue(&self, item: u64) {
+        // canonical order (queue before stats): the conflict is reported
+        // at the other side
+        let mut q = self.queue.lock().expect("poisoned");
+        let mut s = self.stats.lock().expect("poisoned");
+        q.push(item);
+        *s += 1;
+    }
+
+    pub fn report(&self) -> u64 {
+        // FIRES: stats-then-queue inverts enqueue's order
+        let s = self.stats.lock().expect("poisoned");
+        let q = self.queue.lock().expect("poisoned");
+        *s + q.len() as u64
+    }
+}
+
+pub struct Shard {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Shard {
+    pub fn forward(&self) -> u64 {
+        let a = self.alpha.lock().expect("poisoned");
+        let b = self.beta.lock().expect("poisoned");
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u64 {
+        let b = self.beta.lock().expect("poisoned");
+        // SUPPRESSED: tear-down path; forward() is unreachable by then
+        // sos-lint: allow(lock-order) drain runs after workers joined; forward cannot interleave
+        let a = self.alpha.lock().expect("poisoned");
+        *b - *a
+    }
+}
+
+pub fn single_lock_ok(m: &Mutex<u64>) -> u64 {
+    // quiet: one lock has no ordering to violate
+    *m.lock().expect("poisoned")
+}

@@ -1,0 +1,22 @@
+//! Regression guard: the PR 9 class of bug. During the parallel-TGA work,
+//! per-region candidate batches collected into a HashMap and re-emitted by
+//! iteration would produce a stream whose order depends on the process
+//! hash seed — breaking the W-invariance property (bit-identical streams
+//! at any worker count) that `par_map_slots` exists to provide. Linted as
+//! `crates/tga/src/fx.rs`, where `generate` matches the deterministic-root
+//! registry with no annotation needed; this file must ALWAYS fail lint.
+use std::collections::HashMap;
+
+pub struct RegionBatcher {
+    regions: HashMap<u64, Vec<u128>>,
+}
+
+impl RegionBatcher {
+    pub fn generate(&mut self) -> Vec<u128> {
+        let mut out = Vec::new();
+        for (_rid, addrs) in self.regions.iter() {
+            out.extend(addrs.iter().copied());
+        }
+        out
+    }
+}

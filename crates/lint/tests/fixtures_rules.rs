@@ -16,6 +16,12 @@ const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
 const TEST_REGION: &str = include_str!("fixtures/test_region.rs");
 const METRIC_NAMES: &str = include_str!("fixtures/obs_metric_names.rs");
 const PROVENANCE_LABELS: &str = include_str!("fixtures/obs_provenance_labels.rs");
+const UNORDERED_ITER: &str = include_str!("fixtures/det_unordered_iter.rs");
+const WALL_CLOCK: &str = include_str!("fixtures/det_wall_clock.rs");
+const FLOAT_REDUCE: &str = include_str!("fixtures/det_float_reduce.rs");
+const PAR_SHARED_MUT: &str = include_str!("fixtures/par_shared_mut.rs");
+const LOCK_ORDER: &str = include_str!("fixtures/lock_order.rs");
+const REGRESSION_PR9: &str = include_str!("fixtures/regression_pr9.rs");
 
 fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
     findings.iter().map(|f| f.rule).collect()
@@ -23,6 +29,11 @@ fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
 
 fn lint(path: &str, src: &str) -> Vec<Finding> {
     lint_source(path, src, &Config::default())
+}
+
+/// The workspace pipeline (file rules + dataflow rules) over one fixture.
+fn lint_ws(path: &str, src: &str) -> Vec<Finding> {
+    sos_lint::lint_files(&[(path.to_string(), src.to_string())], &Config::default())
 }
 
 // --- determinism ---------------------------------------------------------
@@ -85,6 +96,91 @@ fn fault_entropy_fires_only_in_fault_and_retry_files() {
     // Tests may use ambient entropy.
     assert!(!rules_of(&lint("crates/probe/tests/retry.rs", FAULT_ENTROPY))
         .contains(&"det-fault-entropy"));
+}
+
+// --- workspace dataflow rules --------------------------------------------
+
+#[test]
+fn unordered_iter_fires_on_deterministic_paths_and_dedupes_hash_iter() {
+    let hits = lint_ws("crates/core/src/fx.rs", UNORDERED_ITER);
+    let taint: Vec<&Finding> =
+        hits.iter().filter(|f| f.rule == "det-unordered-iter").collect();
+    // collect_candidates fires; sorted_ok (sort escape) and budget
+    // (suppressed) stay quiet; render_report is not on a root path.
+    assert_eq!(taint.len(), 1, "{hits:?}");
+    assert!(taint[0].message.contains("deterministic root `generate`"), "{:?}", taint[0]);
+    // the file-scoped counterpart on the deduped line is superseded…
+    assert!(
+        !hits.iter().any(|f| f.rule == "det-hash-iter" && f.line == taint[0].line),
+        "{hits:?}"
+    );
+    // …but still owns the non-tainted render path
+    let file_scoped: Vec<&Finding> =
+        hits.iter().filter(|f| f.rule == "det-hash-iter").collect();
+    assert_eq!(file_scoped.len(), 1, "{hits:?}");
+    assert!(file_scoped[0].excerpt.contains("for k in seeds.keys()"), "{file_scoped:?}");
+}
+
+#[test]
+fn wall_clock_follows_the_call_graph_even_inside_obs() {
+    let hits = lint_ws("crates/obs/src/fx.rs", WALL_CLOCK);
+    let taint: Vec<&Finding> = hits.iter().filter(|f| f.rule == "det-wall-clock").collect();
+    // header (Instant) + body (thread_rng); watch_latency is not on a
+    // root path and emit_event is suppressed with a reason.
+    assert_eq!(taint.len(), 2, "{hits:?}");
+    assert!(taint.iter().any(|f| f.excerpt.contains("Instant::now")), "{taint:?}");
+    assert!(taint.iter().any(|f| f.excerpt.contains("thread_rng")), "{taint:?}");
+    // the obs crate is exempt from the file-scoped rule — these findings
+    // exist only because the dataflow pass reaches into it
+    assert!(!rules_of(&hits).contains(&"det-wallclock"), "{hits:?}");
+    assert!(!rules_of(&hits).contains(&"suppression-reason"), "{hits:?}");
+}
+
+#[test]
+fn float_reduce_fires_on_deterministic_paths_only() {
+    let hits = lint_ws("crates/core/src/fx.rs", FLOAT_REDUCE);
+    let taint: Vec<&Finding> = hits.iter().filter(|f| f.rule == "det-float-reduce").collect();
+    // reduce (sum turbofish) + fold_reduce (float fold) + accum (+=);
+    // stable is suppressed, int_total is integer, chart_mean unreachable.
+    assert_eq!(taint.len(), 3, "{hits:?}");
+    assert!(taint.iter().all(|f| f.message.contains("deterministic root `export_grid`")));
+}
+
+#[test]
+fn par_shared_mut_flags_captured_state_not_locals() {
+    let hits = lint_ws("crates/core/src/fx.rs", PAR_SHARED_MUT);
+    let fired: Vec<&Finding> = hits.iter().filter(|f| f.rule == "par-shared-mut").collect();
+    // lock_in_closure + captured_push + captured_assign; per_item_ok is
+    // all locals and justified carries a reasoned allow.
+    assert_eq!(fired.len(), 3, "{hits:?}");
+    assert!(fired.iter().any(|f| f.message.contains(".lock()")), "{fired:?}");
+    assert!(fired.iter().any(|f| f.message.contains("sink.push")), "{fired:?}");
+    assert!(fired.iter().any(|f| f.message.contains("captured `total`")), "{fired:?}");
+}
+
+#[test]
+fn lock_order_flags_the_inverted_side_only() {
+    let hits = lint_ws("crates/core/src/fx.rs", LOCK_ORDER);
+    let fired: Vec<&Finding> = hits.iter().filter(|f| f.rule == "lock-order").collect();
+    // Engine::report inverts Engine::enqueue (flagged); Shard::backward
+    // inverts Shard::forward but is suppressed with a reason.
+    assert_eq!(fired.len(), 1, "{hits:?}");
+    assert!(fired[0].message.contains("Engine::report"), "{fired:?}");
+    assert!(fired[0].message.contains("Engine::enqueue"), "{fired:?}");
+}
+
+#[test]
+fn pr9_style_unordered_generate_always_fails_lint() {
+    // The acceptance gate: reintroducing PR 9-style unordered iteration in
+    // a `generate` path (root via the registry, no annotation) must fail.
+    let hits = lint_ws("crates/tga/src/fx.rs", REGRESSION_PR9);
+    let taint: Vec<&Finding> = hits.iter().filter(|f| f.rule == "det-unordered-iter").collect();
+    assert_eq!(taint.len(), 1, "{hits:?}");
+    assert!(taint[0].excerpt.contains("self.regions.iter()"), "{taint:?}");
+    // root attribution names the registry root, not an annotation
+    assert!(taint[0].message.contains("RegionBatcher::generate"), "{:?}", taint[0]);
+    // and the file-scoped duplicate is deduped away
+    assert!(!rules_of(&hits).contains(&"det-hash-iter"), "{hits:?}");
 }
 
 // --- panic safety --------------------------------------------------------
@@ -214,6 +310,16 @@ fn every_rule_is_exercised_by_these_fixtures() {
         ("crates/core/src/bin/fx.rs", PROVENANCE_LABELS),
     ] {
         seen.extend(rules_of(&lint(path, src)));
+    }
+    // the dataflow rules need the workspace pipeline
+    for (path, src) in [
+        ("crates/core/src/fx.rs", UNORDERED_ITER),
+        ("crates/obs/src/fx.rs", WALL_CLOCK),
+        ("crates/core/src/fx.rs", FLOAT_REDUCE),
+        ("crates/core/src/fx.rs", PAR_SHARED_MUT),
+        ("crates/core/src/fx.rs", LOCK_ORDER),
+    ] {
+        seen.extend(rules_of(&lint_ws(path, src)));
     }
     for rule in RULES {
         assert!(seen.contains(&rule.id), "no fixture exercises `{}`", rule.id);

@@ -434,6 +434,7 @@ impl JournalWriter {
 
     /// Append one event, stamped with `vclock_us` and the process wall
     /// clock, as a single flushed line.
+    // sos-lint: deterministic-root event payloads replay in vclock order across reruns
     pub fn write(&mut self, vclock_us: u64, event: Event) -> io::Result<()> {
         let record = Record {
             seq: self.seq,

@@ -60,7 +60,9 @@ use std::time::Instant;
 
 /// Process-wide monotonic clock origin: first observability call wins.
 fn clock_origin() -> Instant {
+    // sos-lint: allow(det-wall-clock) telemetry clock origin; timestamps never reach result streams
     static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    // sos-lint: allow(det-wall-clock) log/span timings only; journal ordering uses the virtual clock
     *ORIGIN.get_or_init(Instant::now)
 }
 

@@ -1037,6 +1037,7 @@ impl<'a, T: Transport + Clone + Send> Campaign<'a, T> {
     }
 
     /// Snapshot the full campaign state at a round boundary.
+    // sos-lint: deterministic-root resume must replay to the identical stream
     fn checkpoint(
         &self,
         fingerprint: u64,

@@ -583,6 +583,7 @@ impl<T: Transport> Scanner<T> {
                 self.metrics.retries.inc();
                 let d = self.cfg.retry.delay_before(attempt, self.cfg.salt, u128::from(dst));
                 if d > 0.0 {
+                    // sos-lint: allow(det-float-reduce) sequential per-attempt accumulation; order fixed by the probe stream
                     backoff += d;
                     if let Some(tb) = self.limiter.as_mut() {
                         tb.advance(d);
@@ -594,6 +595,7 @@ impl<T: Transport> Scanner<T> {
                 if wait > 0.0 {
                     self.metrics.stall(wait);
                 }
+                // sos-lint: allow(det-float-reduce) virtual-clock wait total; single-threaded, order total
                 waited += wait;
             }
             let probe = build_probe(self.cfg.src, dst, proto, self.cfg.salt, region);

@@ -125,6 +125,7 @@ impl RetryPolicy {
         let mut spent = 0.0;
         let mut allowed = 1;
         for attempt in 1..max {
+            // sos-lint: allow(det-float-reduce) delays accumulate in fixed 1..max attempt order
             spent += self.delay_before(attempt, salt, addr);
             if spent > self.budget_s {
                 break;

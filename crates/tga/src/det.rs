@@ -206,6 +206,7 @@ impl TargetGenerator for Det {
                 let rate = hits as f64 / batch.len() as f64;
                 arms[idx].q = 0.4 * arms[idx].q + 0.6 * rate; // idx from order: < arms.len()
                 arms[idx].probes += batch.len() as f64;
+                // sos-lint: allow(det-float-reduce) whole-number batch sizes; exact in f64 and sequential
                 total_probes += batch.len() as f64;
                 fresh_hits.extend(
                     batch

@@ -177,6 +177,7 @@ pub trait TargetGenerator {
     /// untagged paths run the **same code** — candidate streams are
     /// bit-identical by construction (asserted by the crate's
     /// `provenance_identity` test).
+    // sos-lint: deterministic-root candidate streams must be bit-identical across reruns
     fn generate_tagged(
         &mut self,
         seeds: &[Ipv6Addr],

@@ -138,6 +138,7 @@ pub fn commit_proposals(
 /// cursor. Per-cell queue-wait/exec timings are recorded to
 /// [`sos_obs::par`] under `label` (degenerate inputs still report the
 /// requested worker count, matching `sos_core::par_map_stats`).
+// sos-lint: deterministic-root W-invariance: out[i] must not depend on worker count
 pub(crate) fn par_map_slots<T, R, F>(label: &str, items: &[T], workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -158,6 +159,7 @@ where
             out.push(f(i, item));
             let t1 = sos_obs::now_s();
             cells.push(ParCell { index: i, wait_s: t0 - start, exec_s: t1 - t0, worker: 0 });
+            // sos-lint: allow(det-float-reduce) trace-lane timing stat; never part of the result stream
             busy += t1 - t0;
         }
         sos_obs::par::record(ParStats {

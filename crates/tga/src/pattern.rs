@@ -60,6 +60,7 @@ impl ValueHist {
         for &c in &self.0 {
             if c > 0 {
                 let p = f64::from(c) / f64::from(total);
+                // sos-lint: allow(det-float-reduce) entropy over a fixed-order histogram array
                 h -= p * p.log2();
             }
         }

@@ -63,7 +63,9 @@ fn prune_outliers(seeds: &[Ipv6Addr], sigma: f64) -> Option<Vec<Ipv6Addr>> {
             total as f64 / sample as f64
         })
         .collect();
+    // sos-lint: allow(det-float-reduce) dist is a Vec in seed order; reduction order is total
     let mean = dist.iter().sum::<f64>() / dist.len() as f64;
+    // sos-lint: allow(det-float-reduce) same fixed Vec order as the mean above
     let var = dist.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / dist.len() as f64;
     let cut = mean + sigma * var.sqrt().max(0.25);
     let kept: Vec<Ipv6Addr> = seeds

@@ -306,6 +306,7 @@ impl TargetGenerator for SixSense {
                 let rate = hits.len() as f64 / batch.len() as f64;
                 arms[idx].q = 0.4 * arms[idx].q + 0.6 * rate; // idx from order: < arms.len()
                 arms[idx].probes += batch.len() as f64;
+                // sos-lint: allow(det-float-reduce) whole-number batch sizes; exact in f64 and sequential
                 total_probes += batch.len() as f64;
                 if prov.is_enabled() {
                     let d = digests.get(idx).copied().unwrap_or(0);

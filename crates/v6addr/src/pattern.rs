@@ -32,6 +32,7 @@ pub fn entropy_of_counts(counts: &[u32; 16]) -> f64 {
     for &c in counts {
         if c > 0 {
             let p = c as f64 / total as f64;
+            // sos-lint: allow(det-float-reduce) entropy over a fixed-order count slice
             h -= p * p.log2();
         }
     }
